@@ -1,0 +1,111 @@
+package cypress
+
+// One testing.B benchmark per paper table/figure, each driving the same
+// harness as cmd/cypressbench at smoke scale, plus component-level
+// microbenchmarks for the compression hot paths. Regenerate the full
+// evaluation with:  go run ./cmd/cypressbench -exp all
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/npb"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bench.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1CompilationOverhead(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig15TraceSizes(b *testing.B)           { runExperiment(b, "fig15") }
+func BenchmarkFig16IntraOverhead(b *testing.B)        { runExperiment(b, "fig16") }
+func BenchmarkFig17CommPatterns(b *testing.B)         { runExperiment(b, "fig17") }
+func BenchmarkFig18InterOverhead(b *testing.B)        { runExperiment(b, "fig18") }
+func BenchmarkFig19LeslieSizes(b *testing.B)          { runExperiment(b, "fig19") }
+func BenchmarkFig20LesliePatterns(b *testing.B)       { runExperiment(b, "fig20") }
+func BenchmarkFig21Prediction(b *testing.B)           { runExperiment(b, "fig21") }
+func BenchmarkAblations(b *testing.B)                 { runExperiment(b, "ablate") }
+
+// BenchmarkPipelineCompile measures the static analysis module end to end
+// (parse, check, lower, CFG analyses, CST build) on the largest skeleton.
+func BenchmarkPipelineCompile(b *testing.B) {
+	src := npb.Get("BT").Source(64, npb.Paper)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineTraceJacobi measures the full dynamic pipeline: run,
+// compress, merge, for a 16-rank Jacobi iteration.
+func BenchmarkPipelineTraceJacobi(b *testing.B) {
+	prog, err := Compile(`
+func main() {
+	for var k = 0; k < 50; k = k + 1 {
+		if rank < size - 1 { send(rank + 1, 8000, 0); }
+		if rank > 0 { recv(rank - 1, 8000, 0); }
+		if rank > 0 { send(rank - 1, 8000, 0); }
+		if rank < size - 1 { recv(rank + 1, 8000, 0); }
+	}
+	reduce(0, 8);
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Trace(16, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineReplay measures sequence-preserving decompression.
+func BenchmarkPipelineReplay(b *testing.B) {
+	prog, err := Compile(npb.Get("LU").Source(16, npb.Small))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := prog.Trace(16, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Replay(i % 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinePredict measures decompression plus LogGP simulation.
+func BenchmarkPipelinePredict(b *testing.B) {
+	prog, err := Compile(npb.Get("LESlie3d").Source(16, npb.Small))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := prog.Trace(16, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Predict(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

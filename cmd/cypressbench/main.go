@@ -1,0 +1,59 @@
+// Command cypressbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	cypressbench -exp fig15            # one experiment
+//	cypressbench -exp all              # everything, default scale
+//	cypressbench -exp fig18 -full      # extend to the paper's largest P
+//	cypressbench -exp fig16 -quick     # smoke-test scale
+//
+// Experiments: table1, fig15, fig16, fig17, fig18, fig19, fig20, fig21,
+// ablate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	quick := flag.Bool("quick", false, "smoke-test scale (small iterations, few ranks)")
+	full := flag.Bool("full", false, "extend to the paper's largest process counts")
+	workers := flag.Int("workers", 0, "merge parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick, Full: *full, Workers: *workers}
+	run := func(e bench.Experiment) error {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		t0 := time.Now()
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			return err
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "cypressbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := bench.Get(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypressbench:", err)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintf(os.Stderr, "cypressbench: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+}

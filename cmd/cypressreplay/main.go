@@ -1,0 +1,111 @@
+// Command cypressreplay decompresses a CYPRESS trace file (paper Section V):
+// it can print one rank's exact event sequence, the job's communication
+// matrix, or feed the decompressed traces to the LogGP simulator for a
+// performance prediction.
+//
+// Usage:
+//
+//	cypressreplay -rank 3 run.cyp        # print rank 3's event sequence
+//	cypressreplay -matrix run.cyp        # communication volume matrix
+//	cypressreplay -predict run.cyp       # LogGP performance prediction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cypress "repro"
+	"repro/internal/mpisim"
+	"repro/internal/replay"
+	"repro/internal/simmpi"
+	"repro/internal/trace"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "print this rank's decompressed events")
+	matrix := flag.Bool("matrix", false, "print the communication volume matrix")
+	predict := flag.Bool("predict", false, "run the LogGP performance prediction")
+	limit := flag.Int("limit", 50, "max events to print per rank (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cypressreplay [flags] trace.cyp")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	m, err := cypress.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: ranks=%d events=%d cst-vertices=%d\n",
+		m.NumRanks, m.EventCount, m.Tree.NumVertices())
+
+	switch {
+	case *rank >= 0:
+		if *rank >= m.NumRanks {
+			fmt.Fprintf(os.Stderr, "cypressreplay: rank %d out of range [0,%d)\n", *rank, m.NumRanks)
+			os.Exit(2)
+		}
+		printed := 0
+		err := replay.Events(m.ForRank(*rank), *rank, func(e *trace.Event) {
+			if *limit > 0 && printed >= *limit {
+				return
+			}
+			fmt.Printf("  %6d: %s dur=%.0fns\n", printed, e.String(), e.DurationNS)
+			printed++
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+			os.Exit(1)
+		}
+	case *matrix:
+		n := m.NumRanks
+		vol := make([][]int64, n)
+		for i := range vol {
+			vol[i] = make([]int64, n)
+		}
+		for r := 0; r < n; r++ {
+			err := replay.Events(m.ForRank(r), r, func(e *trace.Event) {
+				if e.Op.IsSendLike() && e.Peer >= 0 && e.Peer < n {
+					vol[r][e.Peer] += int64(e.Size)
+				}
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+				os.Exit(1)
+			}
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if vol[r][c] > 0 {
+					fmt.Printf("  %d -> %d: %d bytes\n", r, c, vol[r][c])
+				}
+			}
+		}
+	case *predict:
+		seqs := make([][]trace.Event, m.NumRanks)
+		for r := range seqs {
+			seqs[r], err = replay.Sequence(m.ForRank(r), r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+				os.Exit(1)
+			}
+		}
+		res, err := simmpi.Simulate(seqs, mpisim.DefaultParams())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("predicted execution time: %.3fms (communication %.1f%%)\n",
+			res.TotalNS/1e6, 100*res.CommFraction())
+	default:
+		fmt.Fprintln(os.Stderr, "cypressreplay: pick one of -rank, -matrix, -predict")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,94 @@
+// Command cypresstrace runs an MPL program (or a built-in workload) on the
+// simulated MPI runtime under CYPRESS compression and writes the merged
+// compressed trace file.
+//
+// Usage:
+//
+//	cypresstrace -procs 64 -o run.cyp prog.mpl
+//	cypresstrace -workload LU -procs 128 -o lu.cyp -gzip
+//	cypresstrace -workload MG -procs 64            # stats only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	cypress "repro"
+	"repro/internal/npb"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "number of simulated MPI ranks")
+	out := flag.String("o", "", "output trace file (stats only if empty)")
+	useGzip := flag.Bool("gzip", false, "gzip the trace file (Cypress+Gzip)")
+	workload := flag.String("workload", "", "run a built-in workload instead of a file")
+	hist := flag.Bool("hist", false, "record time histograms instead of mean/stddev")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *workload != "":
+		w := npb.Get(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "cypresstrace: unknown workload %q (have %v)\n", *workload, npb.Names())
+			os.Exit(2)
+		}
+		if !w.ValidProcs(*procs) {
+			fmt.Fprintf(os.Stderr, "cypresstrace: %s does not support %d processes\n", w.Name, *procs)
+			os.Exit(2)
+		}
+		src = w.Source(*procs, npb.Paper)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cypresstrace:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cypresstrace [flags] prog.mpl  (or -workload NAME)")
+		os.Exit(2)
+	}
+
+	prog, err := cypress.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypresstrace:", err)
+		os.Exit(1)
+	}
+	opts := cypress.Options{}
+	if *hist {
+		opts.TimeMode = cypress.TimeHistogram
+	}
+	res, err := prog.Trace(*procs, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypresstrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ranks=%d events=%d simulated=%.3fms rank-groups=%d\n",
+		res.Merged.NumRanks, res.Merged.EventCount, res.SimulatedNS/1e6, res.Merged.GroupCount())
+
+	var w io.Writer = io.Discard
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cypresstrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := res.WriteTrace(w, *useGzip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypresstrace:", err)
+		os.Exit(1)
+	}
+	where := "(discarded)"
+	if *out != "" {
+		where = *out
+	}
+	fmt.Printf("compressed trace: %d bytes -> %s (%.1f bytes/event)\n",
+		n, where, float64(n)/float64(res.Merged.EventCount))
+}

@@ -1,0 +1,229 @@
+// Package cypress is a full reimplementation of CYPRESS (Zhai et al.,
+// SC 2014): hybrid static-dynamic, top-down communication trace compression
+// for message-passing programs, together with every substrate the paper's
+// pipeline needs — an MPL frontend and CFG analyses standing in for
+// C + LLVM, a goroutine MPI runtime standing in for the cluster, dynamic-only
+// baseline compressors (ScalaTrace, ScalaTrace-2, Gzip), a sequence-
+// preserving replay engine, and a LogGP trace-driven performance simulator
+// standing in for SIM-MPI.
+//
+// The typical pipeline mirrors the paper's Figure 2:
+//
+//	prog, _ := cypress.Compile(src)            // static: CST extraction
+//	res, _ := prog.Trace(64, cypress.Options{})// dynamic: run + compress + merge
+//	seq, _ := res.Replay(3)                    // decompress rank 3
+//	pred, _ := res.Predict()                   // LogGP performance prediction
+package cypress
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/merge"
+	"repro/internal/mpisim"
+	"repro/internal/npb"
+	"repro/internal/replay"
+	"repro/internal/simmpi"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// Program is a compiled MPL program: AST, CFG-level IR, and the extracted
+// communication structure tree.
+type Program struct {
+	Source string
+	AST    *lang.Program
+	IR     *ir.Program
+	CST    *cst.Tree
+	// Recursive lists the user functions on call-graph cycles.
+	Recursive map[string]bool
+}
+
+// Compile parses, checks, lowers, and runs the static analysis module on an
+// MPL source program (paper Section III).
+func Compile(src string) (*Program, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("cypress: parse: %w", err)
+	}
+	rec, err := lang.Check(ast)
+	if err != nil {
+		return nil, fmt.Errorf("cypress: check: %w", err)
+	}
+	irProg, err := ir.Lower(ast)
+	if err != nil {
+		return nil, fmt.Errorf("cypress: lower: %w", err)
+	}
+	tree, err := cst.Build(irProg)
+	if err != nil {
+		return nil, fmt.Errorf("cypress: cst: %w", err)
+	}
+	return &Program{Source: src, AST: ast, IR: irProg, CST: tree, Recursive: rec}, nil
+}
+
+// TimeMode selects how communication times are summarized in records.
+type TimeMode = timestat.Mode
+
+// Time recording modes (paper Section IV-A supports both).
+const (
+	TimeMeanStddev = timestat.ModeMeanStddev
+	TimeHistogram  = timestat.ModeHistogram
+)
+
+// Options configures a traced run.
+type Options struct {
+	// Params is the synthetic network cost model; zero value means
+	// mpisim.DefaultParams().
+	Params *mpisim.Params
+	// TimeMode defaults to mean/stddev recording.
+	TimeMode TimeMode
+	// MergeWorkers bounds the parallel inter-process merge; 0 = GOMAXPROCS.
+	MergeWorkers int
+	// KeepRaw additionally collects the raw per-rank event streams (for
+	// verification and comparison); costs memory proportional to the trace.
+	KeepRaw bool
+}
+
+func (o *Options) params() mpisim.Params {
+	if o.Params != nil {
+		return *o.Params
+	}
+	return mpisim.DefaultParams()
+}
+
+// Result is a completed traced run.
+type Result struct {
+	// Merged is the job-wide compressed trace tree.
+	Merged *merge.Merged
+	// SimulatedNS is the synthetic execution time of the run itself (the
+	// "measured" time for prediction experiments).
+	SimulatedNS float64
+	// Raw holds per-rank uncompressed event streams when Options.KeepRaw.
+	Raw    [][]trace.Event
+	params mpisim.Params
+}
+
+// Trace executes the program on nprocs simulated ranks under CYPRESS
+// compression and merges the per-rank trees (paper Section IV).
+func (p *Program) Trace(nprocs int, opts Options) (*Result, error) {
+	params := opts.params()
+	comps := make([]*ctt.Compressor, nprocs)
+	raws := make([]*trace.CollectorSink, nprocs)
+	sinks := make([]trace.Sink, nprocs)
+	for i := range sinks {
+		comps[i] = ctt.NewCompressor(p.CST, i, opts.TimeMode)
+		if opts.KeepRaw {
+			raws[i] = &trace.CollectorSink{}
+			sinks[i] = teeSink{raws[i], comps[i]}
+		} else {
+			sinks[i] = comps[i]
+		}
+	}
+	simNS, err := mpisim.Run(nprocs, params, sinks, func(r *mpisim.Rank) {
+		interp.Execute(p.AST, r)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cypress: run: %w", err)
+	}
+	ctts := make([]*ctt.RankCTT, nprocs)
+	for i, c := range comps {
+		ctts[i] = c.Finish()
+	}
+	m, err := merge.All(ctts, opts.MergeWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("cypress: merge: %w", err)
+	}
+	res := &Result{Merged: m, SimulatedNS: simNS, params: params}
+	if opts.KeepRaw {
+		res.Raw = make([][]trace.Event, nprocs)
+		for i, r := range raws {
+			res.Raw[i] = r.Events
+		}
+	}
+	return res, nil
+}
+
+// Replay decompresses one rank's exact event sequence (paper Section V).
+func (r *Result) Replay(rank int) ([]trace.Event, error) {
+	return replay.Sequence(r.Merged.ForRank(rank), rank)
+}
+
+// Predict decompresses every rank and runs the LogGP trace-driven simulator,
+// returning the predicted job performance (paper Figure 14's pipeline).
+func (r *Result) Predict() (simmpi.Result, error) {
+	seqs := make([][]trace.Event, r.Merged.NumRanks)
+	for rank := range seqs {
+		seq, err := r.Replay(rank)
+		if err != nil {
+			return simmpi.Result{}, err
+		}
+		seqs[rank] = seq
+	}
+	return simmpi.Simulate(seqs, r.params)
+}
+
+// WriteTrace serializes the merged compressed trace; gzip additionally
+// applies stdlib gzip (the paper's "Cypress+Gzip"). It returns the bytes
+// written.
+func (r *Result) WriteTrace(w io.Writer, gzip bool) (int64, error) {
+	if gzip {
+		return r.Merged.EncodeGzip(w)
+	}
+	return r.Merged.Encode(w)
+}
+
+// ReadTrace loads a merged compressed trace written by WriteTrace (without
+// gzip). Replay works directly on the result via merge.Merged.ForRank.
+func ReadTrace(rd io.Reader) (*merge.Merged, error) {
+	return merge.Decode(rd)
+}
+
+// CommMatrix accumulates the communication volume matrix (bytes sent from
+// row to column) from the decompressed trace — the analysis behind the
+// paper's Figures 17 and 20.
+func (r *Result) CommMatrix() ([][]int64, error) {
+	n := r.Merged.NumRanks
+	mat := make([][]int64, n)
+	for i := range mat {
+		mat[i] = make([]int64, n)
+	}
+	for rank := 0; rank < n; rank++ {
+		seq, err := r.Replay(rank)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range seq {
+			if e.Op.IsSendLike() && e.Peer >= 0 && e.Peer < n {
+				mat[rank][e.Peer] += int64(e.Size)
+			}
+		}
+	}
+	return mat, nil
+}
+
+// Workload returns a named NPB/LESlie3d communication skeleton from the
+// built-in registry, or nil.
+func Workload(name string) *npb.Workload { return npb.Get(name) }
+
+// Workloads lists the built-in workload names.
+func Workloads() []string { return npb.Names() }
+
+type teeSink struct {
+	raw  *trace.CollectorSink
+	comp *ctt.Compressor
+}
+
+func (t teeSink) LoopEnter(s int32)           { t.comp.LoopEnter(s) }
+func (t teeSink) LoopIter(s int32)            { t.comp.LoopIter(s) }
+func (t teeSink) BranchEnter(s int32, a int8) { t.comp.BranchEnter(s, a) }
+func (t teeSink) BranchSkip(s int32)          { t.comp.BranchSkip(s) }
+func (t teeSink) CallEnter(s int32)           { t.comp.CallEnter(s) }
+func (t teeSink) StructExit()                 { t.comp.StructExit() }
+func (t teeSink) CommSite(s int32)            { t.comp.CommSite(s) }
+func (t teeSink) Event(e *trace.Event)        { t.raw.Event(e); t.comp.Event(e) }
+func (t teeSink) Finalize()                   { t.comp.Finalize() }

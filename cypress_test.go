@@ -1,0 +1,150 @@
+package cypress
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/replay"
+)
+
+const jacobi = `
+func main() {
+	for var k = 0; k < 10; k = k + 1 {
+		if rank < size - 1 { send(rank + 1, 8000, 0); }
+		if rank > 0 { recv(rank - 1, 8000, 0); }
+		if rank > 0 { send(rank - 1, 8000, 0); }
+		if rank < size - 1 { recv(rank + 1, 8000, 0); }
+		compute(100000);
+	}
+	reduce(0, 8);
+}`
+
+func TestCompileSurfaceErrors(t *testing.T) {
+	if _, err := Compile("func main( {"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	if _, err := Compile("func f() { }"); err == nil {
+		t.Fatal("check error not surfaced")
+	}
+	p, err := Compile(jacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CST.NumVertices() < 5 {
+		t.Fatalf("CST too small: %d vertices", p.CST.NumVertices())
+	}
+	if len(p.Recursive) != 0 {
+		t.Fatal("jacobi is not recursive")
+	}
+}
+
+func TestTraceReplayPredictPipeline(t *testing.T) {
+	p, err := Compile(jacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Trace(8, Options{KeepRaw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedNS <= 0 {
+		t.Fatal("no simulated time")
+	}
+	for rank := 0; rank < 8; rank++ {
+		seq, err := res.Replay(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.Equivalent(res.Raw[rank], seq); err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	pred, err := res.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := pred.TotalNS / res.SimulatedNS
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("prediction off by %.2fx", ratio)
+	}
+}
+
+func TestWriteReadTrace(t *testing.T) {
+	p, err := Compile(jacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Trace(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := res.WriteTrace(&buf, false)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("write: %v (%d vs %d)", err, n, buf.Len())
+	}
+	m, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRanks != 4 {
+		t.Fatalf("NumRanks = %d", m.NumRanks)
+	}
+	var gz bytes.Buffer
+	zn, err := res.WriteTrace(&gz, true)
+	if err != nil || zn <= 0 {
+		t.Fatalf("gzip write: %v (%d)", err, zn)
+	}
+}
+
+func TestCommMatrix(t *testing.T) {
+	p, err := Compile(jacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Trace(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := res.CommMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearest-neighbor stencil: rank 1 talks to 0 and 2, 10 iterations of
+	// 8000 bytes each way.
+	if mat[1][0] != 80000 || mat[1][2] != 80000 {
+		t.Fatalf("matrix row 1 = %v", mat[1])
+	}
+	if mat[0][2] != 0 || mat[0][3] != 0 {
+		t.Fatalf("non-neighbors communicated: %v", mat[0])
+	}
+}
+
+func TestWorkloadRegistryExposed(t *testing.T) {
+	if Workload("CG") == nil || len(Workloads()) != 9 {
+		t.Fatal("workload registry not exposed")
+	}
+	w := Workload("CG")
+	src := w.Source(8, 0)
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("CG compile: %v", err)
+	}
+	res, err := p.Trace(8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.EventCount == 0 {
+		t.Fatal("no events traced")
+	}
+}
+
+func TestHistogramTimeMode(t *testing.T) {
+	p, err := Compile(jacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Trace(4, Options{TimeMode: TimeHistogram}); err != nil {
+		t.Fatal(err)
+	}
+}

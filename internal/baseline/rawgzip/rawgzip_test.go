@@ -1,0 +1,78 @@
+package rawgzip
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+const loopSrc = `
+func main() {
+	for var i = 0; i < 100; i = i + 1 {
+		if rank < size - 1 { send(rank + 1, 4096, 0); }
+		if rank > 0 { recv(rank - 1, 4096, 0); }
+	}
+}`
+
+func runGz(t *testing.T, src string, n int) []*Writer {
+	t.Helper()
+	ws := make([]*Writer, n)
+	sinks := make([]trace.Sink, n)
+	for i := range ws {
+		ws[i] = NewWriter()
+		sinks[i] = ws[i]
+	}
+	if _, err := interp.RunProgram(src, n, mpisim.DefaultParams(), sinks); err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+func TestRoundTrip(t *testing.T) {
+	ws := runGz(t, loopSrc, 4)
+	for rank, w := range ws {
+		events, err := Decode(w.Bytes())
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if int64(len(events)) != w.Events() {
+			t.Fatalf("rank %d: decoded %d events, wrote %d", rank, len(events), w.Events())
+		}
+		// Interior ranks: init + 100*(send+recv) + finalize.
+		if rank > 0 && rank < 3 && len(events) != 202 {
+			t.Fatalf("rank %d events = %d", rank, len(events))
+		}
+	}
+}
+
+func TestCompressionEffective(t *testing.T) {
+	ws := runGz(t, loopSrc, 4)
+	if TotalCompressed(ws) >= TotalRaw(ws) {
+		t.Fatalf("gzip did not shrink: %d vs %d", TotalCompressed(ws), TotalRaw(ws))
+	}
+	if TotalRaw(ws) <= 0 {
+		t.Fatal("no raw bytes")
+	}
+}
+
+func TestLinearGrowthWithRanks(t *testing.T) {
+	small := TotalCompressed(runGz(t, loopSrc, 2))
+	big := TotalCompressed(runGz(t, loopSrc, 8))
+	// No inter-process compression: 4x the ranks must be roughly 4x bytes
+	// (within a factor ~2 for boundary ranks and gzip variance).
+	if big < small*2 {
+		t.Fatalf("expected near-linear growth: 2 ranks=%dB, 8 ranks=%dB", small, big)
+	}
+}
+
+func TestAccessBeforeFinalizePanics(t *testing.T) {
+	w := NewWriter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.CompressedBytes()
+}

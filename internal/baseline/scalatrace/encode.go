@@ -1,0 +1,136 @@
+package scalatrace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"repro/internal/stride"
+)
+
+// Encode writes the merged trace as a compact binary stream and returns the
+// byte count. The format exists so the "+Gzip" variants of the paper's
+// Figure 15 can be measured on real bytes.
+func (m *MergedTrace) Encode(out io.Writer) (int64, error) {
+	cw := &countingWriter{w: out}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	e := &encoder{w: bw}
+	e.u(uint64(m.NumRanks))
+	e.u(uint64(m.Events))
+	e.terms(m.Terms)
+	if e.err != nil {
+		return 0, e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// EncodeGzip writes the gzip-compressed stream and returns the byte count.
+func (m *MergedTrace) EncodeGzip(out io.Writer) (int64, error) {
+	cw := &countingWriter{w: out}
+	gz := gzip.NewWriter(cw)
+	if _, err := m.Encode(gz); err != nil {
+		return 0, err
+	}
+	if err := gz.Close(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) u(x uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], x)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) i(x int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], x)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) runs(rs []stride.Run) {
+	e.u(uint64(len(rs)))
+	for _, r := range rs {
+		e.i(r.First)
+		e.i(r.Stride)
+		e.u(uint64(r.Count))
+	}
+}
+
+func (e *encoder) terms(ts []*Term) {
+	e.u(uint64(len(ts)))
+	for _, t := range ts {
+		e.term(t)
+	}
+}
+
+func (e *encoder) term(t *Term) {
+	if t.IsRSD {
+		e.u(1)
+		if t.Ranks != nil {
+			e.runs(t.Ranks.Runs())
+		} else {
+			e.u(0)
+		}
+		e.runs(t.CountSeq.Runs())
+		e.terms(t.Body)
+		return
+	}
+	e.u(0)
+	if t.Ranks != nil {
+		e.runs(t.Ranks.Runs())
+	} else {
+		e.u(0)
+	}
+	flags := uint64(0)
+	if t.Wildcard {
+		flags = 1
+	}
+	e.u(uint64(t.Op))
+	e.u(flags)
+	e.i(int64(t.PeerRel))
+	e.i(int64(t.PeerAbs))
+	e.u(uint64(t.Comm))
+	e.runs(t.Sizes.Runs())
+	e.runs(t.Tags.Runs())
+	e.u(uint64(len(t.ReqDeltas)))
+	for _, d := range t.ReqDeltas {
+		e.i(int64(d))
+	}
+	if t.Time != nil {
+		e.u(uint64(t.Time.N))
+		e.u(math.Float64bits(t.Time.Mean))
+		e.u(math.Float64bits(t.Time.Stddev()))
+	} else {
+		e.u(0)
+		e.u(0)
+		e.u(0)
+	}
+}

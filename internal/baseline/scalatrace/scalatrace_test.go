@@ -1,0 +1,384 @@
+package scalatrace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// runTraces executes src on n ranks under the dynamic compressor.
+func runTraces(t testing.TB, src string, n int, mode Mode) []*RankTrace {
+	t.Helper()
+	comps := make([]*Compressor, n)
+	sinks := make([]trace.Sink, n)
+	for i := range comps {
+		comps[i] = NewCompressor(mode, i, 0)
+		sinks[i] = comps[i]
+	}
+	if _, err := interp.RunProgram(src, n, mpisim.DefaultParams(), sinks); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := make([]*RankTrace, n)
+	for i, c := range comps {
+		out[i] = c.Finish()
+	}
+	return out
+}
+
+// sampleCount sums the time-stat sample counts of every event term, which
+// equals the exact number of events folded into the trace.
+func sampleCount(ts []*Term) int64 {
+	var n int64
+	for _, t := range ts {
+		if t.IsRSD {
+			n += sampleCount(t.Body)
+		} else if t.Time != nil {
+			n += t.Time.N
+		}
+	}
+	return n
+}
+
+// findEventTerm locates the first event term with the given op, recursively.
+func findEventTerm(ts []*Term, op trace.Op) *Term {
+	for _, t := range ts {
+		if t.IsRSD {
+			if f := findEventTerm(t.Body, op); f != nil {
+				return f
+			}
+		} else if t.Op == op {
+			return t
+		}
+	}
+	return nil
+}
+
+func TestSimpleLoopBecomesRSD(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	for var i = 0; i < 50; i = i + 1 {
+		bcast(0, 1024);
+	}
+}`, 2, V1)
+	terms := traces[0].Terms
+	// Init, RSD{50,[bcast]}, Finalize.
+	if len(terms) != 3 {
+		t.Fatalf("terms = %d, want 3: %+v", len(terms), terms)
+	}
+	rsd := terms[1]
+	if !rsd.IsRSD || len(rsd.Body) != 1 || rsd.Body[0].Op != trace.OpBcast {
+		t.Fatalf("middle term = %+v", rsd)
+	}
+	if rsd.CountSeq.String() != "[<50>]" {
+		t.Fatalf("count = %s", rsd.CountSeq.String())
+	}
+	// Time stats must aggregate all 50 samples.
+	if rsd.Body[0].Time.N != 50 {
+		t.Fatalf("time samples = %d", rsd.Body[0].Time.N)
+	}
+}
+
+func TestMultiEventLoopBecomesRSD(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	for var i = 0; i < 20; i = i + 1 {
+		var r1 = isend((rank + 1) % size, 64, 0);
+		var r2 = irecv((rank + size - 1) % size, 64, 0);
+		waitall();
+		compute(r1 + r2);
+	}
+}`, 4, V1)
+	terms := traces[1].Terms
+	// The greedy compressor may phase-rotate the loop body, but the trace
+	// must collapse to a handful of terms.
+	if n := countTerms(terms); n > 8 {
+		t.Fatalf("terms = %d, want a compressed loop", n)
+	}
+	// Event conservation: Init + 20*(isend+irecv+waitall) + Finalize.
+	if got := sampleCount(terms); got != 62 {
+		t.Fatalf("folded events = %d, want 62", got)
+	}
+	// Request deltas repeat across iterations: waitall always completes the
+	// two most recent posts.
+	wa := findEventTerm(terms, trace.OpWaitall)
+	if wa == nil || len(wa.ReqDeltas) != 2 ||
+		wa.ReqDeltas[0] != -2 || wa.ReqDeltas[1] != -1 {
+		t.Fatalf("waitall deltas = %+v", wa)
+	}
+}
+
+func TestVaryingSizesBlockV1ButNotV2(t *testing.T) {
+	src := `
+func main() {
+	for var i = 0; i < 40; i = i + 1 {
+		bcast(0, 100 + i * 8);
+	}
+}`
+	v1 := runTraces(t, src, 1, V1)
+	v2 := runTraces(t, src, 1, V2)
+	n1 := countTerms(v1[0].Terms)
+	n2 := countTerms(v2[0].Terms)
+	if n1 <= n2 {
+		t.Fatalf("V1 terms %d should exceed V2 terms %d on varying sizes", n1, n2)
+	}
+	if n2 > 5 {
+		t.Fatalf("V2 should fold varying sizes elastically, got %d terms", n2)
+	}
+	// V2's folded event carries the size sequence as a single stride run.
+	var ev *Term
+	for _, term := range v2[0].Terms {
+		if !term.IsRSD && term.Op == trace.OpBcast {
+			ev = term
+		}
+		if term.IsRSD {
+			for _, b := range term.Body {
+				if b.Op == trace.OpBcast {
+					ev = b
+				}
+			}
+		}
+	}
+	if ev == nil {
+		t.Fatal("no bcast term found")
+	}
+	if ev.Sizes.Len() != 40 || len(ev.Sizes.Runs()) != 1 {
+		t.Fatalf("V2 sizes = %s", ev.Sizes.String())
+	}
+}
+
+func TestNestedLoopPowerRSD(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	for var i = 0; i < 10; i = i + 1 {
+		bcast(0, 64);
+		for var j = 0; j < 5; j = j + 1 {
+			allreduce(8);
+		}
+	}
+}`, 1, V1)
+	terms := traces[0].Terms
+	// Greedy folding may phase-rotate, but the 60-event nest must collapse
+	// into a handful of terms with a nested RSD somewhere.
+	if n := countTerms(terms); n > 15 {
+		t.Fatalf("terms = %d: nested loop did not compress", n)
+	}
+	hasNested := false
+	var scan func(ts []*Term, depth int)
+	scan = func(ts []*Term, depth int) {
+		for _, term := range ts {
+			if term.IsRSD {
+				if depth > 0 {
+					hasNested = true
+				}
+				scan(term.Body, depth+1)
+			}
+		}
+	}
+	scan(terms, 0)
+	if !hasNested {
+		t.Fatalf("no nested (power) RSD found")
+	}
+	if got := sampleCount(terms); got != 1+10*6+1 {
+		t.Fatalf("folded events = %d, want 62", got)
+	}
+}
+
+func TestIrregularBranchesResistCompression(t *testing.T) {
+	// A pseudo-random branch pattern defeats greedy loop detection: the
+	// term list stays long. This is the overhead/effectiveness gap CYPRESS
+	// exploits (it would compress each arm's leaf independently).
+	traces := runTraces(t, `
+func main() {
+	var state = rank + 7;
+	for var i = 0; i < 64; i = i + 1 {
+		state = (state * 1103515245 + 12345) % 2147483648;
+		if (state / 65536) % 3 == 0 {
+			bcast(0, 8);
+		} else {
+			if (state / 65536) % 3 == 1 {
+				allreduce(16);
+			} else {
+				barrier();
+			}
+		}
+	}
+}`, 1, V1)
+	n := countTerms(traces[0].Terms)
+	if n < 10 {
+		t.Fatalf("irregular pattern compressed suspiciously well: %d terms", n)
+	}
+}
+
+func TestPairMergeIdenticalRanks(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	for var i = 0; i < 30; i = i + 1 {
+		allreduce(8);
+	}
+}`, 4, V1)
+	m, err := MergeAll(traces, V1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRanks != 4 {
+		t.Fatalf("NumRanks = %d", m.NumRanks)
+	}
+	// All ranks identical: merged list equals one rank's list.
+	if len(m.Terms) != 3 {
+		t.Fatalf("merged terms = %d, want 3", len(m.Terms))
+	}
+	for _, term := range m.Terms {
+		if term.Ranks == nil || term.Ranks.Len() != 4 {
+			t.Fatalf("term ranks = %v", term.Ranks)
+		}
+	}
+}
+
+func TestPairMergeRelativeRanking(t *testing.T) {
+	// Ring shift: every rank sends to rank+1 mod size. Relative encoding
+	// unifies all interior ranks' sends.
+	traces := runTraces(t, `
+func main() {
+	if rank < size - 1 { send(rank + 1, 256, 0); }
+	if rank > 0 { recv(rank - 1, 256, 0); }
+}`, 6, V1)
+	m, err := MergeAll(traces, V1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sendTerms int
+	for _, term := range m.Terms {
+		if !term.IsRSD && term.Op == trace.OpSend {
+			sendTerms++
+			if term.Ranks.Len() != 5 {
+				t.Fatalf("send term covers %d ranks, want 5", term.Ranks.Len())
+			}
+			if term.PeerRel != 1 {
+				t.Fatalf("send PeerRel = %d", term.PeerRel)
+			}
+		}
+	}
+	if sendTerms != 1 {
+		t.Fatalf("send terms = %d, want 1", sendTerms)
+	}
+}
+
+func TestPairMergeDivergentKeptSeparate(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	if rank == 0 {
+		for var i = 0; i < size - 1; i = i + 1 { recv(ANY, 64, 0); }
+	} else {
+		send(0, 64, 0);
+	}
+}`, 4, V1)
+	m, err := MergeAll(traces, V1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's receive pattern cannot merge with the senders' pattern.
+	if len(m.Terms) < 4 {
+		t.Fatalf("merged terms = %d, expected divergent structure", len(m.Terms))
+	}
+}
+
+func TestEncodeAndGzip(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	for var i = 0; i < 100; i = i + 1 {
+		if rank < size - 1 { send(rank + 1, 4096, 0); }
+		if rank > 0 { recv(rank - 1, 4096, 0); }
+	}
+}`, 8, V1)
+	m, err := MergeAll(traces, V1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, zipped bytes.Buffer
+	ps, err := m.Encode(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := m.EncodeGzip(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps <= 0 || zs <= 0 {
+		t.Fatal("empty encodings")
+	}
+	if int64(plain.Len()) != ps || int64(zipped.Len()) != zs {
+		t.Fatal("byte accounting wrong")
+	}
+	if est := m.SizeBytes(); est <= 0 {
+		t.Fatalf("SizeBytes = %d", est)
+	}
+}
+
+func TestEventConservation(t *testing.T) {
+	traces := runTraces(t, `
+func main() {
+	for var i = 0; i < 25; i = i + 1 { barrier(); }
+	reduce(0, 8);
+}`, 3, V1)
+	for _, tr := range traces {
+		// Init + 25 barriers + reduce + finalize.
+		if tr.Events != 28 {
+			t.Fatalf("rank %d events = %d", tr.Rank, tr.Events)
+		}
+	}
+	m, err := MergeAll(traces, V1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events != 28*3 {
+		t.Fatalf("merged events = %d", m.Events)
+	}
+}
+
+func TestWindowBoundsCompression(t *testing.T) {
+	// A repeat body longer than the window cannot fold.
+	long := `
+func main() {
+	for var i = 0; i < 4; i = i + 1 {
+		bcast(0, 1); bcast(0, 2); bcast(0, 3); bcast(0, 4);
+		bcast(0, 5); bcast(0, 6); bcast(0, 7); bcast(0, 8);
+	}
+}`
+	narrow := func(window int) int64 {
+		comp := NewCompressor(V1, 0, window)
+		if _, err := interp.RunProgram(long, 1, mpisim.Params{}, []trace.Sink{comp}); err != nil {
+			t.Fatal(err)
+		}
+		return countTerms(comp.Finish().Terms)
+	}
+	if n4, n16 := narrow(4), narrow(16); n4 <= n16 {
+		t.Fatalf("window 4 terms %d should exceed window 16 terms %d", n4, n16)
+	}
+}
+
+func TestFinishBeforeFinalizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCompressor(V1, 0, 0).Finish()
+}
+
+func TestModeString(t *testing.T) {
+	if V1.String() != "ScalaTrace" || V2.String() != "ScalaTrace2" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func BenchmarkIntraAppend(b *testing.B) {
+	c := NewCompressor(V1, 0, DefaultWindow)
+	e := trace.Event{Op: trace.OpBcast, Size: 1024, Peer: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Event(&e)
+	}
+}

@@ -1,0 +1,235 @@
+// Package scalatrace reimplements the dynamic-only ("bottom-up") trace
+// compression family CYPRESS is evaluated against:
+//
+//   - Mode V1 models ScalaTrace (Noeth et al., IPDPS'07): an online greedy
+//     loop compressor that maintains a queue of trace terms and folds the
+//     most recent window into regular section descriptors (RSDs) and nested
+//     power-RSDs, with exact parameter matching; inter-process merging
+//     aligns two compressed term lists with an O(n²) LCS dynamic program.
+//   - Mode V2 models ScalaTrace-2 (Wu & Mueller, ICS'13): "elastic" event
+//     matching that folds varying message sizes/tags into per-term value
+//     vectors, and a loop-agnostic inter-process merge that also unifies
+//     terms whose iteration counts differ, at the price of losing the exact
+//     per-rank ordering information (the paper notes ScalaTrace-2 "only
+//     preserves partial communication information").
+//
+// The structure markers of the Sink interface are ignored: these tools see
+// only the event stream, which is precisely the paper's point.
+package scalatrace
+
+import (
+	"repro/internal/rankset"
+	"repro/internal/stride"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// Mode selects the modeled tool.
+type Mode int
+
+const (
+	// V1 is exact-matching ScalaTrace.
+	V1 Mode = iota
+	// V2 is elastic, loop-agnostic ScalaTrace-2.
+	V2
+)
+
+func (m Mode) String() string {
+	if m == V2 {
+		return "ScalaTrace2"
+	}
+	return "ScalaTrace"
+}
+
+// Term is one element of a compressed trace: either a single event pattern
+// or an RSD (a repeated sub-sequence).
+type Term struct {
+	// Event-term fields.
+	Op       trace.Op
+	PeerRel  int // rank-relative peer for p2p ops
+	PeerAbs  int // absolute peer (roots, sentinels)
+	Comm     int
+	Wildcard bool
+	// Sizes and Tags hold parameter values in occurrence order. Exact mode
+	// keeps them single-valued; elastic mode appends on every fold.
+	Sizes stride.Vector
+	Tags  stride.Vector
+	// ReqDeltas are completion request ids re-encoded relative to the
+	// number of requests posted so far, which repeats across iterations.
+	ReqDeltas []int32
+	Time      *timestat.Stat
+
+	// RSD fields.
+	IsRSD bool
+	// CountSeq is the iteration-count sequence of the RSD across its
+	// occurrences (a power-RSD records varying inner counts).
+	CountSeq stride.Vector
+	Body     []*Term
+
+	// Ranks annotates merged terms with the processes sharing them;
+	// nil before inter-process merging.
+	Ranks *rankset.Set
+}
+
+// occurrences returns how many events this event-term folded.
+func (t *Term) occurrences() int64 {
+	if t.IsRSD {
+		return 0
+	}
+	if n := t.Sizes.Len(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// equalExact reports deep equality under V1 rules: every parameter,
+// including size/tag sequences and RSD count sequences, must match.
+func equalExact(a, b *Term) bool {
+	if a.IsRSD != b.IsRSD {
+		return false
+	}
+	if a.IsRSD {
+		// Count sequences are power-RSD data, not identity: ScalaTrace's
+		// PRSDs fold loops whose inner iteration counts vary.
+		if len(a.Body) != len(b.Body) {
+			return false
+		}
+		for i := range a.Body {
+			if !equalExact(a.Body[i], b.Body[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eventHeadEqual(a, b) &&
+		a.Sizes.Equal(&b.Sizes) && a.Tags.Equal(&b.Tags)
+}
+
+// equalElastic reports V2 equality: the operation structure must match but
+// sizes, tags, and RSD counts are elastic (folded on merge).
+func equalElastic(a, b *Term) bool {
+	if a.IsRSD != b.IsRSD {
+		return false
+	}
+	if a.IsRSD {
+		if len(a.Body) != len(b.Body) {
+			return false
+		}
+		for i := range a.Body {
+			if !equalElastic(a.Body[i], b.Body[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eventHeadEqual(a, b)
+}
+
+func eventHeadEqual(a, b *Term) bool {
+	if a.Op != b.Op || a.Comm != b.Comm || a.Wildcard != b.Wildcard ||
+		len(a.ReqDeltas) != len(b.ReqDeltas) {
+		return false
+	}
+	for i := range a.ReqDeltas {
+		if a.ReqDeltas[i] != b.ReqDeltas[i] {
+			return false
+		}
+	}
+	if a.Op.IsPointToPoint() {
+		return a.PeerRel == b.PeerRel
+	}
+	return a.PeerAbs == b.PeerAbs
+}
+
+// fold merges b into a after an equality check succeeded. Elastic data
+// (sizes, tags, counts, times) is appended; exact mode only accumulates time.
+func fold(a, b *Term, mode Mode) {
+	if a.IsRSD {
+		// Power-RSD count sequences concatenate; element-wise appends let
+		// the stride encoder discover arithmetic progressions.
+		for _, v := range b.CountSeq.Values() {
+			a.CountSeq.Append(v)
+		}
+		for i := range a.Body {
+			fold(a.Body[i], b.Body[i], mode)
+		}
+		return
+	}
+	if mode == V2 {
+		for _, v := range b.Sizes.Values() {
+			a.Sizes.Append(v)
+		}
+		for _, v := range b.Tags.Values() {
+			a.Tags.Append(v)
+		}
+	}
+	if a.Time != nil && b.Time != nil {
+		a.Time.Merge(b.Time)
+	}
+}
+
+// SizeBytes estimates the serialized footprint of a term list.
+func SizeBytes(terms []*Term) int64 {
+	var n int64
+	for _, t := range terms {
+		n += termSize(t)
+	}
+	return n
+}
+
+func termSize(t *Term) int64 {
+	var n int64
+	if t.Ranks != nil {
+		n += t.Ranks.SizeBytes()
+	}
+	if t.IsRSD {
+		n += 2 + t.CountSeq.SizeBytes()
+		n += SizeBytes(t.Body)
+		return n
+	}
+	n += 2 + 4 + 2 + 2 // op, peer, comm, flags
+	n += t.Sizes.SizeBytes() + t.Tags.SizeBytes()
+	n += int64(4 * len(t.ReqDeltas))
+	if t.Time != nil {
+		n += t.Time.SizeBytes()
+	}
+	return n
+}
+
+// countTerms returns the total number of terms including nested bodies,
+// used for memory accounting.
+func countTerms(terms []*Term) int64 {
+	var n int64
+	for _, t := range terms {
+		n++
+		if t.IsRSD {
+			n += countTerms(t.Body)
+		}
+	}
+	return n
+}
+
+func cloneTerm(t *Term) *Term {
+	c := *t
+	if t.Time != nil {
+		c.Time = t.Time.Clone()
+	}
+	if t.IsRSD {
+		c.Body = make([]*Term, len(t.Body))
+		for i, b := range t.Body {
+			c.Body[i] = cloneTerm(b)
+		}
+	}
+	var sz, tg, cs stride.Vector
+	for _, r := range t.Sizes.Runs() {
+		sz.AppendRun(r)
+	}
+	for _, r := range t.Tags.Runs() {
+		tg.AppendRun(r)
+	}
+	for _, r := range t.CountSeq.Runs() {
+		cs.AppendRun(r)
+	}
+	c.Sizes, c.Tags, c.CountSeq = sz, tg, cs
+	return &c
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/npb"
+)
+
+func TestRegistryAndGet(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 9 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	for _, e := range exps {
+		got, err := Get(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Fatalf("Get(%q) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes each experiment end to end at smoke
+// scale and sanity-checks its report.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	mustContain := map[string][]string{
+		"table1": {"Overhead(%)", "LESlie3d"},
+		"fig15":  {"Cypress+Gzip", "SP", "LU"},
+		"fig16":  {"Cypress t%", "MG"},
+		"fig17":  {"nonzero pairs"},
+		"fig18":  {"vs ST1"},
+		"fig19":  {"Procs"},
+		"fig20":  {"distinct message sizes"},
+		"fig21":  {"average prediction error"},
+		"ablate": {"relative OFF", "parallel", "histogram"},
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Config{Quick: true}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, out)
+			}
+			for _, frag := range mustContain[e.ID] {
+				if !strings.Contains(out, frag) {
+					t.Fatalf("%s output missing %q:\n%s", e.ID, frag, out)
+				}
+			}
+		})
+	}
+}
+
+func TestProcsForRespectsModes(t *testing.T) {
+	wl := npb.Get("LU")
+	quick := Config{Quick: true}.procsFor(wl)
+	if len(quick) != 1 || quick[0] > 16 {
+		t.Fatalf("quick procs = %v", quick)
+	}
+	def := Config{}.procsFor(wl)
+	if len(def) != 3 {
+		t.Fatalf("default procs = %v", def)
+	}
+	full := Config{Full: true}.procsFor(wl)
+	if len(full) != len(wl.Procs) {
+		t.Fatalf("full procs = %v", full)
+	}
+}
+
+func TestMeasureConservesEvents(t *testing.T) {
+	wl := npb.Get("CG")
+	m, err := Measure(wl, 8, Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events == 0 || m.SimSec <= 0 {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+	for _, meth := range SizeMethods {
+		if m.Sizes[meth] <= 0 {
+			t.Fatalf("method %s has no size", meth)
+		}
+	}
+	// Cypress must beat raw Gzip on a regular workload.
+	if m.Sizes[MCypress] >= m.Sizes[MGzip] {
+		t.Fatalf("Cypress %d >= Gzip %d on CG", m.Sizes[MCypress], m.Sizes[MGzip])
+	}
+}
+
+func TestMeasureIntraShapes(t *testing.T) {
+	wl := npb.Get("FT")
+	m, err := MeasureIntra(wl, 8, Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BaseSec <= 0 {
+		t.Fatal("no base time")
+	}
+	for _, meth := range []string{MCypress, MScala, MScala2} {
+		if m.SlowdownPct[meth] < 0 {
+			t.Fatalf("%s slowdown negative", meth)
+		}
+	}
+	if m.MemBytes[MCypress] <= 0 || m.MemBytes[MScala] <= 0 {
+		t.Fatal("memory probes missing")
+	}
+}

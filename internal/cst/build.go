@@ -1,0 +1,328 @@
+package cst
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// Build constructs the program CST for a checked MPL program lowered to IR.
+//
+// The intra-procedural phase derives each procedure's tree from its
+// structured control flow and validates it against the dominator-based
+// natural-loop analysis on the CFG (Algorithm 1's loop identification).
+// The inter-procedural phase expands call sites bottom-up over the program
+// call graph (Algorithm 2), converting recursion into pseudo-loop structure.
+// Finally comm-free subtrees are pruned and GIDs are assigned in pre-order.
+func Build(p *ir.Program) (*Tree, error) {
+	// Validate the structured lowering against real CFG analyses: every
+	// source loop must be exactly the set of natural loops, and every branch
+	// join must post-dominate its branch block.
+	for _, f := range p.Funcs {
+		if err := ir.VerifyLoopAnnotations(f); err != nil {
+			return nil, err
+		}
+		if err := verifyBranchJoins(f); err != nil {
+			return nil, err
+		}
+	}
+
+	mainFn, ok := p.Source.ByName["main"]
+	if !ok {
+		return nil, fmt.Errorf("cst: program has no main")
+	}
+
+	b := &builder{
+		prog:      p.Source,
+		recursive: recursionCycle(p),
+	}
+	root := &Vertex{Kind: KindRoot, Site: lang.NoNode, Arm: NoArm}
+	if err := b.expandBody(mainFn, root, nil); err != nil {
+		return nil, err
+	}
+	prune(root)
+	t := &Tree{Root: root, FuncName: "main"}
+	assignGIDs(t)
+	root.buildIndex()
+	return t, nil
+}
+
+// recursionCycle returns the set of user functions on call-graph cycles.
+func recursionCycle(p *ir.Program) map[string]bool {
+	rec, err := lang.Check(p.Source)
+	if err != nil {
+		// The program was checked before lowering; a failure here indicates
+		// the IR and source diverged.
+		panic(fmt.Sprintf("cst: source no longer checks: %v", err))
+	}
+	return rec
+}
+
+type frame struct {
+	name   string
+	vertex *Vertex
+}
+
+type builder struct {
+	prog      *lang.Program
+	recursive map[string]bool
+}
+
+// expandBody appends the CST of fn's body to parent. stack holds the
+// in-progress function expansions for recursion cutting.
+func (b *builder) expandBody(fn *lang.FuncDecl, parent *Vertex, stack []frame) error {
+	stack = append(stack, frame{fn.Name, parent})
+	if len(stack) > 256 {
+		return fmt.Errorf("cst: call expansion deeper than 256 frames; mutual recursion cycle not cut?")
+	}
+	return b.block(fn.Body, parent, stack)
+}
+
+func (b *builder) block(blk *lang.Block, parent *Vertex, stack []frame) error {
+	// Statements after an unconditional return are statically unreachable
+	// (mirroring the IR's reachability pruning), so the stop flag both ends
+	// the walk and is reported upward by blockStop.
+	_, err := b.blockStop(blk, parent, stack)
+	return err
+}
+
+// stmt expands one statement; it reports whether the statement unconditionally
+// stops execution (return).
+func (b *builder) stmt(s lang.Stmt, parent *Vertex, stack []frame) (bool, error) {
+	switch s := s.(type) {
+	case *lang.VarStmt:
+		return false, b.exprCalls(s.Init, parent, stack)
+	case *lang.AssignStmt:
+		return false, b.exprCalls(s.Value, parent, stack)
+	case *lang.ExprStmt:
+		return false, b.exprCalls(s.X, parent, stack)
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			if err := b.exprCalls(s.Value, parent, stack); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	case *lang.Block:
+		return b.blockStop(s, parent, stack)
+	case *lang.IfStmt:
+		// Conditions are pure (checked), so no leaves precede the arms.
+		arm0 := parent.addChild(&Vertex{Kind: KindBranch, Site: s.ID(), Arm: 0})
+		thenStop, err := b.blockStop(s.Then, arm0, stack)
+		if err != nil {
+			return false, err
+		}
+		arm0.Returns = thenStop
+		elseStop := false
+		if s.Else != nil {
+			arm1 := parent.addChild(&Vertex{Kind: KindBranch, Site: s.ID(), Arm: 1})
+			elseStop, err = b.stmt(s.Else, arm1, stack)
+			if err != nil {
+				return false, err
+			}
+			arm1.Returns = elseStop
+		}
+		// The if stops the enclosing block only when every path returns.
+		return thenStop && s.Else != nil && elseStop, nil
+	case *lang.ForStmt:
+		if s.Init != nil {
+			// Init runs once, outside the loop vertex.
+			if _, err := b.stmt(s.Init, parent, stack); err != nil {
+				return false, err
+			}
+		}
+		loop := parent.addChild(&Vertex{Kind: KindLoop, Site: s.ID(), Arm: NoArm})
+		bodyStop, err := b.blockStop(s.Body, loop, stack)
+		if err != nil {
+			return false, err
+		}
+		loop.Returns = bodyStop
+		if s.Post != nil && !bodyStop {
+			// Post runs each iteration, inside the loop vertex, after the
+			// body; it is dead code when the body always returns.
+			if _, err := b.stmt(s.Post, loop, stack); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	case *lang.WhileStmt:
+		loop := parent.addChild(&Vertex{Kind: KindLoop, Site: s.ID(), Arm: NoArm})
+		bodyStop, err := b.blockStop(s.Body, loop, stack)
+		loop.Returns = bodyStop
+		return false, err
+	}
+	return false, fmt.Errorf("cst: unknown statement %T", s)
+}
+
+// blockStop expands a block and reports whether its statically-last reachable
+// statement unconditionally returns.
+func (b *builder) blockStop(blk *lang.Block, parent *Vertex, stack []frame) (bool, error) {
+	for _, s := range blk.Stmts {
+		stop, err := b.stmt(s, parent, stack)
+		if err != nil {
+			return false, err
+		}
+		if stop {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// exprCalls adds vertices for every call in e, in evaluation order.
+func (b *builder) exprCalls(e lang.Expr, parent *Vertex, stack []frame) error {
+	var firstErr error
+	lang.WalkCallsInEvalOrder(e, func(call *lang.CallExpr) {
+		if firstErr != nil {
+			return
+		}
+		firstErr = b.call(call, parent, stack)
+	})
+	return firstErr
+}
+
+func (b *builder) call(call *lang.CallExpr, parent *Vertex, stack []frame) error {
+	if op := trace.OpByName(call.Name); op != trace.OpNone {
+		parent.addChild(&Vertex{Kind: KindComm, Site: call.ID(), Arm: NoArm, Op: op})
+		return nil
+	}
+	if lang.IsIntrinsic(call.Name) {
+		return nil // compute/min/max/log2 never reach the tracer
+	}
+	callee, ok := b.prog.ByName[call.Name]
+	if !ok {
+		return fmt.Errorf("cst: call to unknown function %q", call.Name)
+	}
+	// Recursion cut: a call to a function currently being expanded becomes a
+	// RecCall vertex looping back to the matching ancestor (paper Figure 8's
+	// internal recursive calls become branch-outcome-recording vertices).
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].name == call.Name {
+			parent.addChild(&Vertex{
+				Kind: KindRecCall, Site: call.ID(), Arm: NoArm,
+				Callee: call.Name, Target: stack[i].vertex,
+			})
+			return nil
+		}
+	}
+	v := parent.addChild(&Vertex{
+		Kind: KindCall, Site: call.ID(), Arm: NoArm,
+		Callee:    call.Name,
+		Recursive: b.recursive[call.Name],
+	})
+	return b.expandBody(callee, v, stack)
+}
+
+// prune removes every subtree that cannot produce an MPI event: the two-step
+// iterative leaf deletion of Section III-B, generalized to keep RecCall
+// vertices whose loop-back target contains communication.
+func prune(root *Vertex) {
+	computeHasComm(root)
+	keepRecCalls(root)
+	keepReturns(root)
+	var rec func(v *Vertex)
+	rec = func(v *Vertex) {
+		kept := v.Children[:0]
+		for _, c := range v.Children {
+			if c.hasComm {
+				rec(c)
+				kept = append(kept, c)
+			}
+		}
+		// Zero trailing pointers so pruned subtrees can be collected.
+		for i := len(kept); i < len(v.Children); i++ {
+			v.Children[i] = nil
+		}
+		v.Children = kept
+	}
+	rec(root)
+}
+
+func computeHasComm(v *Vertex) bool {
+	v.hasComm = v.Kind == KindComm
+	for _, c := range v.Children {
+		if computeHasComm(c) {
+			v.hasComm = true
+		}
+	}
+	return v.hasComm
+}
+
+// keepReturns preserves Returns-flagged vertices whose enclosing function
+// (nearest Call or Root ancestor) contains communication: replay needs their
+// taken/iteration data to know when execution unwound early past comm
+// vertices. Returns inside entirely comm-free functions stay prunable.
+func keepReturns(root *Vertex) {
+	var walk func(v *Vertex)
+	walk = func(v *Vertex) {
+		if v.Returns && !v.hasComm {
+			boundary := v.Parent
+			for boundary != nil && boundary.Kind != KindCall && boundary.Kind != KindRoot {
+				boundary = boundary.Parent
+			}
+			if boundary != nil && boundary.hasComm {
+				for u := v; u != nil && !u.hasComm; u = u.Parent {
+					u.hasComm = true
+				}
+			}
+		}
+		for _, c := range v.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// keepRecCalls marks RecCall vertices (and their ancestor chains) as live when
+// their target's subtree contains communication: re-entering that subtree can
+// produce events even though the RecCall itself is a leaf.
+func keepRecCalls(root *Vertex) {
+	var recCalls []*Vertex
+	var collect func(v *Vertex)
+	collect = func(v *Vertex) {
+		if v.Kind == KindRecCall {
+			recCalls = append(recCalls, v)
+		}
+		for _, c := range v.Children {
+			collect(c)
+		}
+	}
+	collect(root)
+	for _, rc := range recCalls {
+		if rc.Target.hasComm {
+			for v := rc; v != nil && !v.hasComm; v = v.Parent {
+				v.hasComm = true
+			}
+		}
+	}
+}
+
+// assignGIDs numbers vertices in pre-order and fills the GID index.
+func assignGIDs(t *Tree) {
+	t.ByGID = t.ByGID[:0]
+	t.Walk(func(v *Vertex, _ int) {
+		v.GID = int32(len(t.ByGID))
+		t.ByGID = append(t.ByGID, v)
+	})
+}
+
+// verifyBranchJoins checks, for every non-loop conditional branch, that the
+// immediate post-dominator of the branch block is a valid join: both arms
+// must reach it without passing through the branch block again. This guards
+// the assumption that MPL lowering produces structured branches.
+func verifyBranchJoins(f *ir.Func) error {
+	ipdom := ir.PostDominators(f)
+	for _, blk := range f.Blocks {
+		cb, ok := blk.Term.(*ir.CondBr)
+		if !ok || cb.IsLoopCond {
+			continue
+		}
+		j := ipdom[blk.ID]
+		if j == blk.ID {
+			return fmt.Errorf("ir: %s: branch block b%d post-dominates itself", f.Name, blk.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package cst implements the Communication Structure Tree, the static data
+// structure at the heart of CYPRESS (paper Section III).
+//
+// The CST is an ordered tree extracted at compile time. Leaf vertices are MPI
+// communication invocations; interior vertices are loop, branch, and call
+// structures. A pre-order traversal of the CST matches the static structure
+// of the program, so the runtime can track the currently-executing vertex
+// with a cursor and "fill in" event details top-down.
+//
+// Construction follows the paper:
+//   - an intra-procedural pass builds one tree per procedure from its control
+//     structure (Algorithm 1); the dominator-based loop identification over
+//     the CFG (ir.NaturalLoops) validates every loop vertex;
+//   - a bottom-up inter-procedural pass over the program call graph expands
+//     user-function call sites with copies of their callees' trees
+//     (Algorithm 2);
+//   - recursive calls are converted into pseudo-loop structures: the call
+//     vertex that enters a recursion cycle acts as a loop recording recursion
+//     depth, and calls back to an in-progress function become RecCall
+//     vertices that "loop back" to the matching ancestor (paper Figure 8);
+//   - a pruning pass removes every subtree that cannot produce an MPI event.
+//
+// One deliberate representation difference from the paper: call vertices are
+// retained rather than spliced away during inlining. Each call site owns a
+// distinct subtree either way; keeping the vertex gives the runtime cursor an
+// unambiguous descent key when the same function is called twice in a row.
+package cst
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// Kind classifies a CST vertex.
+type Kind uint8
+
+const (
+	KindRoot Kind = iota
+	KindLoop
+	KindBranch
+	KindCall
+	KindComm
+	KindRecCall
+)
+
+var kindNames = [...]string{"Root", "Loop", "Br", "Call", "Comm", "RecCall"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// NoArm marks vertices that are not branch arms.
+const NoArm int8 = -1
+
+// Vertex is one node of the CST.
+type Vertex struct {
+	Kind Kind
+	// GID is the unique pre-order global id (paper Section III-A), assigned
+	// after pruning. The instrumented runtime reports GIDs to the compressor.
+	GID int32
+	// Site is the AST node of the source construct: the loop statement, the
+	// if statement, or the call expression. Together with Arm it uniquely
+	// keys a child under its parent.
+	Site lang.NodeID
+	// Arm is the branch path index for KindBranch (0 = then, 1 = else);
+	// NoArm otherwise.
+	Arm int8
+	// Op is the MPI operation for KindComm leaves.
+	Op trace.Op
+	// Callee is the function name for KindCall and KindRecCall.
+	Callee string
+	// Recursive marks call vertices that enter a recursion cycle; such a
+	// vertex doubles as the paper's pseudo-loop, recording recursion depth.
+	Recursive bool
+	// Returns marks a branch arm whose statically-last statement is an
+	// unconditional return, or a loop whose body always returns. Replay
+	// unwinds to the enclosing call boundary after traversing such a vertex,
+	// keeping the decompressed sequence aligned with what actually ran.
+	// Vertices with Returns set survive pruning even when comm-free.
+	Returns bool
+	// Target is the ancestor vertex a RecCall loops back to.
+	Target *Vertex
+
+	Parent   *Vertex
+	Children []*Vertex
+
+	childIdx map[childKey]*Vertex
+	hasComm  bool
+}
+
+type childKey struct {
+	site lang.NodeID
+	arm  int8
+}
+
+// Child returns the child with the given site and arm, or nil. The runtime
+// cursor uses this for descent; nil means the subtree was pruned (comm-free).
+func (v *Vertex) Child(site lang.NodeID, arm int8) *Vertex {
+	if v.childIdx == nil {
+		return nil
+	}
+	return v.childIdx[childKey{site, arm}]
+}
+
+func (v *Vertex) addChild(c *Vertex) *Vertex {
+	c.Parent = v
+	v.Children = append(v.Children, c)
+	return c
+}
+
+func (v *Vertex) buildIndex() {
+	if len(v.Children) == 0 {
+		return
+	}
+	v.childIdx = make(map[childKey]*Vertex, len(v.Children))
+	for _, c := range v.Children {
+		key := childKey{c.Site, c.Arm}
+		if _, dup := v.childIdx[key]; dup {
+			// Comm leaves may repeat a site only if the same call expression
+			// appears twice under one parent, which the expansion never
+			// produces; treat as an internal invariant violation.
+			panic(fmt.Sprintf("cst: duplicate child key %+v under GID %d", key, v.GID))
+		}
+		v.childIdx[key] = c
+	}
+	for _, c := range v.Children {
+		c.buildIndex()
+	}
+}
+
+// Tree is a complete program CST.
+type Tree struct {
+	Root *Vertex
+	// ByGID indexes vertices by GID in pre-order; ByGID[0] is the root.
+	ByGID []*Vertex
+	// FuncName records the program entry function ("main").
+	FuncName string
+}
+
+// NumVertices returns the number of vertices after pruning.
+func (t *Tree) NumVertices() int { return len(t.ByGID) }
+
+// Walk visits vertices in pre-order.
+func (t *Tree) Walk(f func(v *Vertex, depth int)) {
+	var rec func(v *Vertex, d int)
+	rec = func(v *Vertex, d int) {
+		f(v, d)
+		for _, c := range v.Children {
+			rec(c, d+1)
+		}
+	}
+	rec(t.Root, 0)
+}
+
+// Dump renders the tree in the indentation style of paper Figures 6-7.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	t.Walk(func(v *Vertex, d int) {
+		b.WriteString(strings.Repeat("  ", d))
+		fmt.Fprintf(&b, "%d:%s", v.GID, v.Kind)
+		switch v.Kind {
+		case KindComm:
+			fmt.Fprintf(&b, ":%s", v.Op)
+		case KindCall:
+			fmt.Fprintf(&b, ":%s", v.Callee)
+			if v.Recursive {
+				b.WriteString(" (pseudo-loop)")
+			}
+		case KindRecCall:
+			fmt.Fprintf(&b, ":%s -> %d", v.Callee, v.Target.GID)
+		case KindBranch:
+			fmt.Fprintf(&b, "[arm %d]", v.Arm)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// Stats summarizes the tree for tooling.
+type Stats struct {
+	Vertices, Loops, Branches, Calls, CommLeaves, RecCalls int
+}
+
+// Stats computes vertex-kind counts.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	t.Walk(func(v *Vertex, _ int) {
+		s.Vertices++
+		switch v.Kind {
+		case KindLoop:
+			s.Loops++
+		case KindBranch:
+			s.Branches++
+		case KindCall:
+			s.Calls++
+		case KindComm:
+			s.CommLeaves++
+		case KindRecCall:
+			s.RecCalls++
+		}
+	})
+	return s
+}

@@ -1,0 +1,145 @@
+package cst
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// The paper stores the program CST "in a compressed text file". This codec
+// writes one line per vertex in pre-order; child counts make the structure
+// self-delimiting, so decode is a single pass.
+
+const magic = "CYPRESS-CST v1"
+
+// Encode writes t to w in the text format.
+func (t *Tree) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d %s\n", magic, t.NumVertices(), t.FuncName)
+	var err error
+	t.Walk(func(v *Vertex, _ int) {
+		if err != nil {
+			return
+		}
+		target := int32(-1)
+		if v.Target != nil {
+			target = v.Target.GID
+		}
+		rec := 0
+		if v.Recursive {
+			rec = 1
+		}
+		ret := 0
+		if v.Returns {
+			ret = 1
+		}
+		_, err = fmt.Fprintf(bw, "%d %d %d %d %d %d %d %d %q\n",
+			v.GID, v.Kind, v.Site, v.Arm, v.Op, rec, ret, target, v.Callee)
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d\n", len(v.Children))
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads a tree written by Encode.
+func Decode(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	var n int
+	var fn string
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("cst: reading header: %w", err)
+	}
+	if !strings.HasPrefix(header, magic) {
+		return nil, fmt.Errorf("cst: bad magic %q", strings.TrimSpace(header))
+	}
+	if _, err := fmt.Sscanf(header[len(magic):], "%d %s", &n, &fn); err != nil {
+		return nil, fmt.Errorf("cst: bad header %q: %w", strings.TrimSpace(header), err)
+	}
+	if n < 1 || n > 1<<24 {
+		return nil, fmt.Errorf("cst: implausible vertex count %d", n)
+	}
+	t := &Tree{FuncName: fn, ByGID: make([]*Vertex, 0, n)}
+	type pending struct {
+		v         *Vertex
+		remaining int
+	}
+	var stack []pending
+	targets := map[*Vertex]int32{}
+	for i := 0; i < n; i++ {
+		var gid, site int32
+		var kind, arm, op, rec, ret int
+		var target int32
+		var callee string
+		if _, err := fmt.Fscanf(br, "%d %d %d %d %d %d %d %d %q\n",
+			&gid, &kind, &site, &arm, &op, &rec, &ret, &target, &callee); err != nil {
+			return nil, fmt.Errorf("cst: vertex %d: %w", i, err)
+		}
+		var nchild int
+		if _, err := fmt.Fscanf(br, "%d\n", &nchild); err != nil {
+			return nil, fmt.Errorf("cst: vertex %d child count: %w", i, err)
+		}
+		if gid != int32(i) {
+			return nil, fmt.Errorf("cst: vertex %d has GID %d; file not in pre-order", i, gid)
+		}
+		v := &Vertex{
+			Kind: Kind(kind), GID: gid, Site: lang.NodeID(site), Arm: int8(arm),
+			Op: trace.Op(op), Recursive: rec != 0, Returns: ret != 0, Callee: callee,
+		}
+		if target >= 0 {
+			targets[v] = target
+		}
+		if len(stack) == 0 {
+			if i != 0 {
+				return nil, fmt.Errorf("cst: multiple roots")
+			}
+			t.Root = v
+		} else {
+			top := &stack[len(stack)-1]
+			top.v.addChild(v)
+			top.remaining--
+			for len(stack) > 0 && stack[len(stack)-1].remaining == 0 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		t.ByGID = append(t.ByGID, v)
+		if nchild > 0 {
+			stack = append(stack, pending{v, nchild})
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("cst: truncated tree: %d vertices still expect children", len(stack))
+	}
+	for v, tg := range targets {
+		if int(tg) >= len(t.ByGID) {
+			return nil, fmt.Errorf("cst: RecCall target %d out of range", tg)
+		}
+		v.Target = t.ByGID[tg]
+	}
+	t.Root.buildIndex()
+	return t, nil
+}
+
+// Hash returns a structural fingerprint. All ranks of an SPMD job share one
+// binary, hence one CST; merge refuses trees with different hashes.
+func (t *Tree) Hash() uint64 {
+	h := fnv.New64a()
+	t.Walk(func(v *Vertex, d int) {
+		target := int32(-1)
+		if v.Target != nil {
+			target = v.Target.GID
+		}
+		fmt.Fprintf(h, "%d/%d/%d/%d/%d/%d/%s/%v/%v;", d, v.Kind, v.Site, v.Arm, v.Op, target, v.Callee, v.Recursive, v.Returns)
+	})
+	return h.Sum64()
+}

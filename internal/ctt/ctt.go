@@ -1,0 +1,531 @@
+// Package ctt implements the Compressed Trace Tree and CYPRESS's intra-process
+// on-the-fly trace compression (paper Section IV-A).
+//
+// A Compressor mirrors the static CST: one data slot per CST vertex, plus a
+// cursor that always points at the vertex currently being executed, driven by
+// the structure markers the instrumented program emits. Each incoming MPI
+// event is "filled in" at its leaf and merged with the previous record when
+// all parameters except time match. Loop vertices record per-activation
+// iteration counts and branch-arm vertices record taken indices, both
+// stride-compressed. Request handles of non-blocking operations are mapped to
+// their poster's GID so completion records are replayable, and wildcard
+// receives are cached until their source is resolved at completion.
+package ctt
+
+import (
+	"fmt"
+
+	"repro/internal/cst"
+	"repro/internal/lang"
+	"repro/internal/stride"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// CommRecord is one run-length record on a comm leaf: Count consecutive
+// executions with identical parameters. Ev holds the canonical parameters
+// (Peer absolute, Reqs rewritten to poster GIDs, times zeroed); PeerRel holds
+// the rank-relative peer encoding used for inter-process merging.
+type CommRecord struct {
+	Ev      trace.Event
+	PeerRel int
+	Count   int64
+	Time    *timestat.Stat
+	// Compute summarizes the sequential computation time preceding each
+	// folded event. The paper feeds SIM-MPI a separately-acquired
+	// computation time; recording it alongside the communication time keeps
+	// replayed traces simulation-ready (cf. Ratn et al. on preserving time).
+	Compute *timestat.Stat
+	// RelEncoded is set by the inter-process merge when ranks were unified
+	// under the relative ranking encoding: the record's true peer for rank r
+	// is r + PeerRel, and Ev.Peer is no longer meaningful.
+	RelEncoded bool
+	// Peers, when non-nil, means the record's occurrences cycle through
+	// several peers (e.g. butterfly exchanges); PeerRel and Ev.Peer are then
+	// unused. Peer offsets are rank-relative.
+	Peers *PeerPattern
+}
+
+// PeerFor returns the record's peer rank from the perspective of rank r.
+// For peer-pattern records use PeerForAt with the occurrence index.
+func (r *CommRecord) PeerFor(rank int) int {
+	if r.Peers != nil {
+		return rank + int(r.Peers.At(0))
+	}
+	if r.RelEncoded {
+		return rank + r.PeerRel
+	}
+	return r.Ev.Peer
+}
+
+// PeerForAt returns the peer of the record's k-th occurrence (0-based) from
+// the perspective of rank r.
+func (r *CommRecord) PeerForAt(rank int, k int64) int {
+	if r.Peers != nil {
+		return rank + int(r.Peers.At(k))
+	}
+	return r.PeerFor(rank)
+}
+
+// SizeBytes estimates the serialized footprint of the record.
+func (r *CommRecord) SizeBytes() int64 {
+	n := int64(2 + 4 + 4 + 4 + 2 + 4) // op, size, peer, tag, comm, count (varints, upper bound)
+	n += int64(4 * len(r.Ev.Reqs))
+	n += r.Time.SizeBytes()
+	n += 16 // compute-time mean and count (varints, upper bound)
+	if r.Peers != nil {
+		n += r.Peers.SizeBytes()
+	}
+	return n
+}
+
+// VData is the runtime data of one CTT vertex.
+type VData struct {
+	// Records is the run-length event list for comm leaves (and for the
+	// root, which holds the MPI_Init and MPI_Finalize events).
+	Records []*CommRecord
+	// Counts holds per-activation iteration counts for loop vertices and
+	// recursion depths for recursive (pseudo-loop) call vertices.
+	Counts stride.Vector
+	// Taken holds, for branch-arm vertices, the branch-site reach indices at
+	// which this arm was taken.
+	Taken stride.Set
+	// Cycles marks repeating record blocks (see Cycle).
+	Cycles []Cycle
+
+	// open is the in-progress activation's iteration count.
+	open int64
+	// cyc tracks in-progress record-cycle folding.
+	cyc cycleState
+	// reach maps branch sites to their reach counters (stored on the parent
+	// vertex of the arms). Dropped after Finish; replay recomputes them.
+	reach map[lang.NodeID]int64
+}
+
+// SizeBytes estimates the serialized footprint of the vertex data.
+func (d *VData) SizeBytes() int64 {
+	var n int64
+	for _, r := range d.Records {
+		n += r.SizeBytes()
+	}
+	n += d.Counts.SizeBytes()
+	n += d.Taken.SizeBytes()
+	n += 24 * int64(len(d.Cycles))
+	return n
+}
+
+// RankCTT is a finished per-rank compressed trace tree, ready for
+// inter-process merging or replay.
+type RankCTT struct {
+	Rank     int
+	Tree     *cst.Tree
+	TreeHash uint64
+	// Data is indexed by CST vertex GID.
+	Data []VData
+	// EventCount is the number of MPI events the rank produced (for
+	// compression-ratio accounting).
+	EventCount int64
+}
+
+// SizeBytes estimates the serialized footprint of the whole rank CTT
+// (excluding the shared CST, which is stored once per job).
+func (c *RankCTT) SizeBytes() int64 {
+	var n int64
+	for i := range c.Data {
+		n += c.Data[i].SizeBytes()
+	}
+	return n
+}
+
+type frameKind uint8
+
+const (
+	fSkip frameKind = iota
+	fLoop
+	fBranch
+	fCall
+	fRecCall
+)
+
+type frame struct {
+	kind    frameKind
+	prev    *cst.Vertex
+	entered *cst.Vertex
+	// savedOpen preserves the entered vertex's in-progress activation count:
+	// recursion can re-enter a loop vertex while an outer activation of the
+	// same vertex is still open.
+	savedOpen int64
+}
+
+// Compressor is the per-rank intra-process compression sink.
+type Compressor struct {
+	tree   *cst.Tree
+	rank   int
+	mode   timestat.Mode
+	window int
+
+	data   []VData
+	cursor *cst.Vertex
+	stack  []frame
+	skip   int
+
+	site     int32 // pending comm site from CommSite
+	reqGID   map[int32]int32
+	wildcard map[int32]*trace.Event // cached wildcard irecv events by ReqID
+
+	events   int64
+	finished bool
+}
+
+// NewCompressor returns a compression sink for one rank. All ranks must share
+// the same tree (SPMD single-binary assumption).
+func NewCompressor(tree *cst.Tree, rank int, mode timestat.Mode) *Compressor {
+	return &Compressor{
+		tree:     tree,
+		rank:     rank,
+		mode:     mode,
+		window:   1,
+		data:     make([]VData, tree.NumVertices()),
+		cursor:   tree.Root,
+		site:     -1,
+		reqGID:   map[int32]int32{},
+		wildcard: map[int32]*trace.Event{},
+	}
+}
+
+// SetWindow widens the per-leaf record matching window (paper Section IV-A:
+// "Potentially one can set a larger sliding window for each leaf vertex, to
+// find more similar communication patterns. There is clearly a trade-off
+// between cost and compression effectiveness."). Windows larger than 1 merge
+// an incoming event into any of the last k records, which improves
+// compression for alternating parameters but makes the replayed ordering of
+// those records approximate. The default window of 1 is lossless.
+func (c *Compressor) SetWindow(k int) {
+	if k < 1 {
+		k = 1
+	}
+	c.window = k
+}
+
+func (c *Compressor) d(v *cst.Vertex) *VData { return &c.data[v.GID] }
+
+// LoopEnter implements trace.Sink.
+func (c *Compressor) LoopEnter(site int32) {
+	if c.skip > 0 {
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	child := c.cursor.Child(lang.NodeID(site), cst.NoArm)
+	if child == nil {
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	d := c.d(child)
+	c.stack = append(c.stack, frame{kind: fLoop, prev: c.cursor, entered: child, savedOpen: d.open})
+	c.cursor = child
+	d.open = 0
+}
+
+// LoopIter implements trace.Sink.
+func (c *Compressor) LoopIter(site int32) {
+	if c.skip > 0 {
+		return
+	}
+	if c.cursor.Kind != cst.KindLoop || c.cursor.Site != lang.NodeID(site) {
+		panic(fmt.Sprintf("ctt: loop iteration marker for site %d at vertex %d (%v)",
+			site, c.cursor.GID, c.cursor.Kind))
+	}
+	c.d(c.cursor).open++
+}
+
+// BranchEnter implements trace.Sink.
+func (c *Compressor) BranchEnter(site int32, arm int8) {
+	if c.skip > 0 {
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	s := lang.NodeID(site)
+	armV := c.cursor.Child(s, arm)
+	other := c.cursor.Child(s, 1-arm)
+	if armV == nil && other == nil {
+		// Whole branch pruned: no reach bookkeeping needed.
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	pd := c.d(c.cursor)
+	if pd.reach == nil {
+		pd.reach = map[lang.NodeID]int64{}
+	}
+	idx := pd.reach[s]
+	pd.reach[s] = idx + 1
+	if armV == nil {
+		// This arm was pruned (comm-free); the reach counter still advanced.
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	c.d(armV).Taken.Add(idx)
+	c.stack = append(c.stack, frame{kind: fBranch, prev: c.cursor, entered: armV})
+	c.cursor = armV
+}
+
+// BranchSkip implements trace.Sink.
+func (c *Compressor) BranchSkip(site int32) {
+	if c.skip > 0 {
+		return
+	}
+	s := lang.NodeID(site)
+	if c.cursor.Child(s, 0) == nil && c.cursor.Child(s, 1) == nil {
+		return
+	}
+	pd := c.d(c.cursor)
+	if pd.reach == nil {
+		pd.reach = map[lang.NodeID]int64{}
+	}
+	pd.reach[s]++
+}
+
+// CallEnter implements trace.Sink.
+func (c *Compressor) CallEnter(site int32) {
+	if c.skip > 0 {
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	child := c.cursor.Child(lang.NodeID(site), cst.NoArm)
+	if child == nil {
+		c.skip++
+		c.stack = append(c.stack, frame{kind: fSkip})
+		return
+	}
+	switch child.Kind {
+	case cst.KindCall:
+		c.stack = append(c.stack, frame{kind: fCall, prev: c.cursor, entered: child})
+		c.cursor = child
+		if child.Recursive {
+			// Pseudo-loop activation: recursion depth starts at one level.
+			c.d(child).open = 1
+		}
+	case cst.KindRecCall:
+		// Loop back: one more recursion level on the matching ancestor.
+		c.d(child.Target).open++
+		c.stack = append(c.stack, frame{kind: fRecCall, prev: c.cursor, entered: child})
+		c.cursor = child.Target
+	default:
+		panic(fmt.Sprintf("ctt: call marker resolved to %v vertex %d", child.Kind, child.GID))
+	}
+}
+
+// StructExit implements trace.Sink.
+func (c *Compressor) StructExit() {
+	if len(c.stack) == 0 {
+		panic("ctt: unbalanced structure exit")
+	}
+	f := c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+	switch f.kind {
+	case fSkip:
+		c.skip--
+	case fLoop:
+		d := c.d(f.entered)
+		d.Counts.Append(d.open)
+		d.open = f.savedOpen
+		c.cursor = f.prev
+	case fCall:
+		if f.entered.Recursive {
+			d := c.d(f.entered)
+			d.Counts.Append(d.open)
+		}
+		c.cursor = f.prev
+	default:
+		c.cursor = f.prev
+	}
+}
+
+// CommSite implements trace.Sink.
+func (c *Compressor) CommSite(site int32) { c.site = site }
+
+// Event implements trace.Sink.
+func (c *Compressor) Event(e *trace.Event) {
+	c.events++
+	if c.skip > 0 {
+		panic(fmt.Sprintf("ctt: event %v inside pruned region", e.Op))
+	}
+	switch e.Op {
+	case trace.OpInit, trace.OpFinalize:
+		// No call site: these bracket the program and live on the root.
+		c.record(c.tree.Root, e)
+		return
+	}
+	if c.site < 0 {
+		panic(fmt.Sprintf("ctt: event %v without a preceding CommSite marker", e.Op))
+	}
+	leaf := c.cursor.Child(lang.NodeID(c.site), cst.NoArm)
+	c.site = -1
+	if leaf == nil || leaf.Kind != cst.KindComm {
+		panic(fmt.Sprintf("ctt: no comm leaf for site under vertex %d (op %v)", c.cursor.GID, e.Op))
+	}
+	ev := *e
+	ev.GID = leaf.GID
+
+	if ev.Op.IsNonBlocking() {
+		c.reqGID[ev.ReqID] = leaf.GID
+		if ev.Op == trace.OpIrecv && ev.Wildcard {
+			// Paper Section IV-A, non-deterministic events: cache wildcard
+			// receives; compression is delayed until the checking function
+			// resolves the source.
+			cached := ev
+			c.wildcard[ev.ReqID] = &cached
+			return
+		}
+	}
+	if ev.Op.IsCompletion() {
+		c.resolveCompletion(&ev)
+	}
+	c.record(leaf, &ev)
+}
+
+// resolveCompletion rewrites request ids to poster GIDs and flushes any
+// cached wildcard receives whose sources this completion resolved.
+func (c *Compressor) resolveCompletion(ev *trace.Event) {
+	reqs := make([]int32, len(ev.Reqs))
+	for i, id := range ev.Reqs {
+		gid, ok := c.reqGID[id]
+		if !ok {
+			panic(fmt.Sprintf("ctt: completion of unknown request %d", id))
+		}
+		reqs[i] = gid
+		if cached, isWild := c.wildcard[id]; isWild {
+			if ev.ReqSrcs == nil {
+				panic("ctt: wildcard completion without resolved sources")
+			}
+			resolved := *cached
+			resolved.Peer = int(ev.ReqSrcs[i])
+			delete(c.wildcard, id)
+			leaf := c.tree.ByGID[resolved.GID]
+			c.record(leaf, &resolved)
+		}
+		delete(c.reqGID, id)
+	}
+	ev.Reqs = reqs
+	// Resolved sources live on the receive records; dropping them from the
+	// completion record keeps completions identical across iterations.
+	ev.ReqSrcs = nil
+}
+
+// record merges ev into the last record of v or appends a new one.
+func (c *Compressor) record(v *cst.Vertex, ev *trace.Event) {
+	d := c.d(v)
+	dur := ev.DurationNS
+	canon := *ev
+	canon.DurationNS = 0
+	canon.ComputeNS = 0
+	canon.ReqID = -1
+	comp := ev.ComputeNS
+	// Open record cycles consume matching events first; a mismatch closes
+	// the cycle and falls through to the ordinary paths.
+	if d.cyc.open != nil && d.tryFoldCycle(&d.cyc, &canon, dur, comp) {
+		return
+	}
+	n := len(d.Records)
+	lo := n - c.window
+	if lo < d.cyc.frozen {
+		lo = d.cyc.frozen
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for i := n - 1; i >= lo; i-- {
+		cand := d.Records[i]
+		if cand.Peers == nil && cand.Ev.SameParams(&canon) {
+			cand.Count++
+			cand.Time.Add(dur)
+			cand.Compute.Add(comp)
+			return
+		}
+	}
+	rel := 0
+	if canon.Op.IsPointToPoint() {
+		rel = canon.Peer - c.rank
+	}
+	// Peer-pattern folding: a point-to-point record whose parameters match
+	// except for the partner extends the last record's peer cycle instead
+	// of opening a new record (CG butterflies, MG level neighbors).
+	if n > d.cyc.frozen && n > 0 && canon.Op.IsPointToPoint() {
+		last := d.Records[n-1]
+		if last.Ev.Op.IsPointToPoint() && last.Ev.SameParamsExceptPeer(&canon) {
+			if last.Peers == nil {
+				last.Peers = newPeerPattern(int32(last.PeerRel), last.Count)
+			}
+			if last.Peers != nil {
+				last.Peers.Append(int32(rel))
+				last.Count++
+				last.Time.Add(dur)
+				last.Compute.Add(comp)
+				return
+			}
+		}
+	}
+	st := timestat.New(c.mode)
+	st.Add(dur)
+	cst := timestat.New(timestat.ModeMeanStddev)
+	cst.Add(comp)
+	d.Records = append(d.Records, &CommRecord{Ev: canon, PeerRel: rel, Count: 1, Time: st, Compute: cst})
+	d.tryOpenCycle(&d.cyc)
+}
+
+// Finalize implements trace.Sink.
+func (c *Compressor) Finalize() {
+	if len(c.stack) != 0 || c.skip != 0 {
+		panic(fmt.Sprintf("ctt: finalize with %d open structures (skip=%d)", len(c.stack), c.skip))
+	}
+	if len(c.wildcard) != 0 {
+		panic(fmt.Sprintf("ctt: finalize with %d unresolved wildcard receives", len(c.wildcard)))
+	}
+	c.finished = true
+}
+
+// Finish extracts the rank's compressed trace tree. It must be called after
+// the run completes (Finalize observed).
+func (c *Compressor) Finish() *RankCTT {
+	if !c.finished {
+		panic("ctt: Finish before Finalize")
+	}
+	for i := range c.data {
+		d := &c.data[i]
+		d.reach = nil
+		if d.cyc.open != nil {
+			d.closeCycle(&d.cyc)
+		}
+		for _, r := range d.Records {
+			if r.Peers != nil {
+				r.Peers.Compress()
+			}
+		}
+	}
+	return &RankCTT{
+		Rank:       c.rank,
+		Tree:       c.tree,
+		TreeHash:   c.tree.Hash(),
+		Data:       c.data,
+		EventCount: c.events,
+	}
+}
+
+// MemoryBytes estimates the live memory the compressor holds, for the
+// intra-process overhead experiment (paper Figure 16's memory curves).
+func (c *Compressor) MemoryBytes() int64 {
+	var n int64 = int64(len(c.data)) * 64 // VData headers
+	for i := range c.data {
+		n += c.data[i].SizeBytes()
+		n += int64(len(c.data[i].reach)) * 16
+	}
+	n += int64(len(c.stack)) * 24
+	n += int64(len(c.reqGID)) * 8
+	n += int64(len(c.wildcard)) * 96
+	return n
+}

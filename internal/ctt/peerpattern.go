@@ -1,0 +1,102 @@
+package ctt
+
+// PeerPattern compresses the peer sequence of a comm leaf whose occurrences
+// alternate among several peers in a repeating order — the butterfly
+// exchanges of CG (partner = rank ± 2^level) and the level-dependent
+// neighbors of MG. The sequence of rank-relative peers is stored as its
+// smallest period; occurrence k's peer is rank + Period[k mod len(Period)].
+//
+// This is the structural analog of the relative-ranking constant: instead of
+// one constant offset, a record carries a short cyclic sequence of offsets.
+// It preserves losslessness (the occurrence index fully determines the peer)
+// while keeping records O(period) instead of O(occurrences).
+type PeerPattern struct {
+	// Period holds rank-relative peer offsets; the generating rule is
+	// peer(k) = rank + Period[k % len(Period)].
+	Period []int32
+	// raw accumulates offsets until Compress; dropped afterwards.
+	raw        []int32
+	compressed bool
+}
+
+// convertLimit bounds how many identical occurrences are materialized when a
+// constant-peer record first sees a different peer. Beyond it, conversion is
+// refused and a fresh record starts instead.
+const convertLimit = 1 << 13
+
+// newPeerPattern seeds a pattern from a constant-peer prefix.
+func newPeerPattern(rel int32, count int64) *PeerPattern {
+	if count > convertLimit {
+		return nil
+	}
+	raw := make([]int32, count)
+	for i := range raw {
+		raw[i] = rel
+	}
+	return &PeerPattern{raw: raw}
+}
+
+// Append adds the next occurrence's relative peer.
+func (p *PeerPattern) Append(rel int32) {
+	if p.compressed {
+		panic("ctt: PeerPattern append after Compress")
+	}
+	p.raw = append(p.raw, rel)
+}
+
+// Compress finds the smallest period generating the sequence cyclically:
+// the least p with raw[i] == raw[i-p] for all i >= p (equivalently
+// raw[i] == raw[i mod p]). Uses the KMP failure function, O(n).
+func (p *PeerPattern) Compress() {
+	n := len(p.raw)
+	p.compressed = true
+	if n == 0 {
+		p.Period = nil
+		p.raw = nil
+		return
+	}
+	fail := make([]int, n)
+	for i := 1; i < n; i++ {
+		k := fail[i-1]
+		for k > 0 && p.raw[i] != p.raw[k] {
+			k = fail[k-1]
+		}
+		if p.raw[i] == p.raw[k] {
+			k++
+		}
+		fail[i] = k
+	}
+	period := n - fail[n-1]
+	// The failure-function period only generates the sequence cyclically
+	// when every position satisfies raw[i] == raw[i mod period]; the KMP
+	// border guarantees raw[i] == raw[i-period] for i >= period, which is
+	// the same condition, so period is always valid here.
+	p.Period = append([]int32(nil), p.raw[:period]...)
+	p.raw = nil
+}
+
+// At returns the relative peer of occurrence k.
+func (p *PeerPattern) At(k int64) int32 {
+	if !p.compressed {
+		return p.raw[k]
+	}
+	return p.Period[k%int64(len(p.Period))]
+}
+
+// Equal reports whether two compressed patterns generate the same sequence
+// for records of equal length (periods must match exactly: both are the
+// smallest generator).
+func (p *PeerPattern) Equal(o *PeerPattern) bool {
+	if len(p.Period) != len(o.Period) {
+		return false
+	}
+	for i := range p.Period {
+		if p.Period[i] != o.Period[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes estimates the serialized footprint.
+func (p *PeerPattern) SizeBytes() int64 { return 2 + 4*int64(len(p.Period)) }

@@ -1,0 +1,357 @@
+// Package interp executes MPL programs on simulated MPI ranks. It is the
+// stand-in for running the compiled, instrumented binary: every MPI intrinsic
+// is forwarded to the mpisim runtime (whose tracer observes the event), and
+// every control structure is bracketed with the structure markers the paper's
+// compiler inserts (PMPI_COMM_Structure / _Exit, Figure 9), following the
+// trace.Sink protocol.
+package interp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/lang"
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// RunProgram parses, checks, and executes MPL source on n simulated ranks,
+// returning the simulated job time in nanoseconds. sinks may be nil (no
+// tracing) or contain one Sink per rank.
+func RunProgram(src string, n int, params mpisim.Params, sinks []trace.Sink) (float64, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := lang.Check(prog); err != nil {
+		return 0, err
+	}
+	return mpisim.Run(n, params, sinks, func(r *mpisim.Rank) {
+		Execute(prog, r)
+	})
+}
+
+// Execute runs prog's main function on rank r. The program must have passed
+// lang.Check. Runtime errors (division by zero, bad message sizes, undefined
+// behavior) panic; mpisim.Run converts rank panics into errors.
+func Execute(prog *lang.Program, r *mpisim.Rank) {
+	ex := &executor{
+		prog: prog,
+		rank: r,
+		sink: r.Sink(),
+		reqs: map[int64]*mpisim.Request{},
+	}
+	r.Init()
+	mainFn := prog.ByName["main"]
+	if mainFn == nil {
+		panic("interp: program has no main")
+	}
+	ex.callUser(mainFn, nil)
+	r.Finalize()
+}
+
+type executor struct {
+	prog  *lang.Program
+	rank  *mpisim.Rank
+	sink  trace.Sink
+	reqs  map[int64]*mpisim.Request
+	depth int
+}
+
+// scope is a lexical environment frame.
+type scope struct {
+	vars   map[string]int64
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (*scope, bool) {
+	for e := s; e != nil; e = e.parent {
+		if _, ok := e.vars[name]; ok {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func (ex *executor) callUser(fn *lang.FuncDecl, args []int64) int64 {
+	ex.depth++
+	if ex.depth > 1<<16 {
+		panic(fmt.Sprintf("interp: recursion deeper than %d in %s", 1<<16, fn.Name))
+	}
+	defer func() { ex.depth-- }()
+	env := &scope{vars: make(map[string]int64, len(fn.Params)+4)}
+	for i, p := range fn.Params {
+		env.vars[p] = args[i]
+	}
+	_, val := ex.block(fn.Body, env)
+	return val
+}
+
+// block executes a statement list in a fresh child scope; it reports whether
+// a return unwound and the return value.
+func (ex *executor) block(b *lang.Block, parent *scope) (bool, int64) {
+	env := &scope{vars: map[string]int64{}, parent: parent}
+	for _, s := range b.Stmts {
+		if ret, v := ex.stmt(s, env); ret {
+			return true, v
+		}
+	}
+	return false, 0
+}
+
+func (ex *executor) stmt(s lang.Stmt, env *scope) (bool, int64) {
+	switch s := s.(type) {
+	case *lang.VarStmt:
+		env.vars[s.Name] = ex.eval(s.Init, env)
+		return false, 0
+	case *lang.AssignStmt:
+		v := ex.eval(s.Value, env)
+		target, ok := env.lookup(s.Name)
+		if !ok {
+			panic(fmt.Sprintf("interp: assignment to undeclared %q", s.Name))
+		}
+		target.vars[s.Name] = v
+		return false, 0
+	case *lang.ExprStmt:
+		ex.eval(s.X, env)
+		return false, 0
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			return true, ex.eval(s.Value, env)
+		}
+		return true, 0
+	case *lang.Block:
+		return ex.block(s, env)
+	case *lang.IfStmt:
+		site := int32(s.ID())
+		if truthy(ex.eval(s.Cond, env)) {
+			ex.sink.BranchEnter(site, 0)
+			ret, v := ex.block(s.Then, env)
+			ex.sink.StructExit()
+			return ret, v
+		}
+		if s.Else != nil {
+			ex.sink.BranchEnter(site, 1)
+			ret, v := ex.stmt(s.Else, env)
+			ex.sink.StructExit()
+			return ret, v
+		}
+		ex.sink.BranchSkip(site)
+		return false, 0
+	case *lang.ForStmt:
+		site := int32(s.ID())
+		loopEnv := &scope{vars: map[string]int64{}, parent: env}
+		if s.Init != nil {
+			if ret, v := ex.stmt(s.Init, loopEnv); ret {
+				return ret, v
+			}
+		}
+		ex.sink.LoopEnter(site)
+		for truthy(ex.eval(s.Cond, loopEnv)) {
+			ex.sink.LoopIter(site)
+			if ret, v := ex.block(s.Body, loopEnv); ret {
+				ex.sink.StructExit()
+				return ret, v
+			}
+			if s.Post != nil {
+				if ret, v := ex.stmt(s.Post, loopEnv); ret {
+					ex.sink.StructExit()
+					return ret, v
+				}
+			}
+		}
+		ex.sink.StructExit()
+		return false, 0
+	case *lang.WhileStmt:
+		site := int32(s.ID())
+		ex.sink.LoopEnter(site)
+		for truthy(ex.eval(s.Cond, env)) {
+			ex.sink.LoopIter(site)
+			if ret, v := ex.block(s.Body, env); ret {
+				ex.sink.StructExit()
+				return ret, v
+			}
+		}
+		ex.sink.StructExit()
+		return false, 0
+	}
+	panic(fmt.Sprintf("interp: unknown statement %T", s))
+}
+
+func truthy(v int64) bool { return v != 0 }
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ex *executor) eval(e lang.Expr, env *scope) int64 {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return e.Value
+	case *lang.AnyLit:
+		return int64(trace.AnySource)
+	case *lang.Ident:
+		switch e.Name {
+		case "rank":
+			return int64(ex.rank.ID())
+		case "size":
+			return int64(ex.rank.Size())
+		}
+		sc, ok := env.lookup(e.Name)
+		if !ok {
+			panic(fmt.Sprintf("interp: undeclared variable %q", e.Name))
+		}
+		return sc.vars[e.Name]
+	case *lang.UnaryExpr:
+		v := ex.eval(e.X, env)
+		if e.Neg {
+			return -v
+		}
+		return boolToInt(v == 0)
+	case *lang.BinaryExpr:
+		l := ex.eval(e.L, env)
+		r := ex.eval(e.R, env)
+		switch e.Op {
+		case lang.OpAdd:
+			return l + r
+		case lang.OpSub:
+			return l - r
+		case lang.OpMul:
+			return l * r
+		case lang.OpDiv:
+			if r == 0 {
+				panic(fmt.Sprintf("interp: %s: division by zero", e.Pos()))
+			}
+			return l / r
+		case lang.OpMod:
+			if r == 0 {
+				panic(fmt.Sprintf("interp: %s: modulo by zero", e.Pos()))
+			}
+			return l % r
+		case lang.OpLt:
+			return boolToInt(l < r)
+		case lang.OpGt:
+			return boolToInt(l > r)
+		case lang.OpLe:
+			return boolToInt(l <= r)
+		case lang.OpGe:
+			return boolToInt(l >= r)
+		case lang.OpEq:
+			return boolToInt(l == r)
+		case lang.OpNe:
+			return boolToInt(l != r)
+		case lang.OpAnd:
+			return boolToInt(truthy(l) && truthy(r))
+		case lang.OpOr:
+			return boolToInt(truthy(l) || truthy(r))
+		}
+		panic(fmt.Sprintf("interp: unknown operator %v", e.Op))
+	case *lang.CallExpr:
+		return ex.call(e, env)
+	}
+	panic(fmt.Sprintf("interp: unknown expression %T", e))
+}
+
+func (ex *executor) call(e *lang.CallExpr, env *scope) int64 {
+	args := make([]int64, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = ex.eval(a, env)
+	}
+	if lang.IsIntrinsic(e.Name) {
+		return ex.intrinsic(e, args)
+	}
+	fn := ex.prog.ByName[e.Name]
+	if fn == nil {
+		panic(fmt.Sprintf("interp: call to undefined %q", e.Name))
+	}
+	ex.sink.CallEnter(int32(e.ID()))
+	v := ex.callUser(fn, args)
+	ex.sink.StructExit()
+	return v
+}
+
+const maxMsgSize = 1 << 30
+
+func (ex *executor) msgSize(e *lang.CallExpr, v int64) int {
+	if v < 0 || v > maxMsgSize {
+		panic(fmt.Sprintf("interp: %s: message size %d out of range", e.Pos(), v))
+	}
+	return int(v)
+}
+
+func (ex *executor) intrinsic(e *lang.CallExpr, args []int64) int64 {
+	r := ex.rank
+	if lang.IsCommIntrinsic(e.Name) {
+		ex.sink.CommSite(int32(e.ID()))
+	}
+	switch e.Name {
+	case "send":
+		r.Send(int(args[0]), ex.msgSize(e, args[1]), int(args[2]))
+	case "recv":
+		r.Recv(int(args[0]), ex.msgSize(e, args[1]), int(args[2]))
+	case "isend":
+		req := r.Isend(int(args[0]), ex.msgSize(e, args[1]), int(args[2]))
+		ex.reqs[int64(req.ID)] = req
+		return int64(req.ID)
+	case "irecv":
+		req := r.Irecv(int(args[0]), ex.msgSize(e, args[1]), int(args[2]))
+		ex.reqs[int64(req.ID)] = req
+		return int64(req.ID)
+	case "wait":
+		req, ok := ex.reqs[args[0]]
+		if !ok {
+			panic(fmt.Sprintf("interp: %s: wait on unknown request %d", e.Pos(), args[0]))
+		}
+		r.Wait(req)
+		delete(ex.reqs, args[0])
+	case "waitall":
+		r.Waitall()
+		clear(ex.reqs)
+	case "waitsome":
+		return int64(r.Waitsome())
+	case "testany":
+		return int64(r.Testany())
+	case "barrier":
+		r.Barrier()
+	case "bcast":
+		r.Bcast(int(args[0]), ex.msgSize(e, args[1]))
+	case "reduce":
+		r.Reduce(int(args[0]), ex.msgSize(e, args[1]))
+	case "allreduce":
+		r.Allreduce(ex.msgSize(e, args[0]))
+	case "gather":
+		r.Gather(int(args[0]), ex.msgSize(e, args[1]))
+	case "scatter":
+		r.Scatter(int(args[0]), ex.msgSize(e, args[1]))
+	case "allgather":
+		r.Allgather(ex.msgSize(e, args[0]))
+	case "alltoall":
+		r.Alltoall(ex.msgSize(e, args[0]))
+	case "compute":
+		if args[0] < 0 {
+			panic(fmt.Sprintf("interp: %s: negative compute time %d", e.Pos(), args[0]))
+		}
+		r.Compute(float64(args[0]))
+	case "min":
+		if args[0] < args[1] {
+			return args[0]
+		}
+		return args[1]
+	case "max":
+		if args[0] > args[1] {
+			return args[0]
+		}
+		return args[1]
+	case "log2":
+		if args[0] < 1 {
+			panic(fmt.Sprintf("interp: %s: log2 of %d", e.Pos(), args[0]))
+		}
+		return int64(bits.Len64(uint64(args[0])) - 1)
+	default:
+		panic(fmt.Sprintf("interp: unknown intrinsic %q", e.Name))
+	}
+	return 0
+}

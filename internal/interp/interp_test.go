@@ -1,0 +1,398 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// markerSink records both structure markers and events as a flat script, so
+// tests can assert the exact instrumentation protocol.
+type markerSink struct {
+	script []string
+}
+
+func (m *markerSink) LoopEnter(site int32) { m.script = append(m.script, fmt.Sprintf("L+%d", site)) }
+func (m *markerSink) LoopIter(site int32)  { m.script = append(m.script, fmt.Sprintf("I%d", site)) }
+func (m *markerSink) BranchEnter(site int32, a int8) {
+	m.script = append(m.script, fmt.Sprintf("B+%d/%d", site, a))
+}
+func (m *markerSink) BranchSkip(site int32) { m.script = append(m.script, fmt.Sprintf("B0%d", site)) }
+func (m *markerSink) CallEnter(site int32)  { m.script = append(m.script, fmt.Sprintf("C+%d", site)) }
+func (m *markerSink) StructExit()           { m.script = append(m.script, "X") }
+func (m *markerSink) CommSite(int32)        {}
+func (m *markerSink) Event(e *trace.Event)  { m.script = append(m.script, e.Op.String()) }
+func (m *markerSink) Finalize()             { m.script = append(m.script, "FIN") }
+
+func runMarked(t *testing.T, src string, n int) []*markerSink {
+	t.Helper()
+	sinks := make([]trace.Sink, n)
+	ms := make([]*markerSink, n)
+	for i := range sinks {
+		ms[i] = &markerSink{}
+		sinks[i] = ms[i]
+	}
+	if _, err := RunProgram(src, n, mpisim.Params{}, sinks); err != nil {
+		t.Fatalf("RunProgram: %v", err)
+	}
+	return ms
+}
+
+func countOf(script []string, tok string) int {
+	n := 0
+	for _, s := range script {
+		if s == tok {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLoopMarkerProtocol(t *testing.T) {
+	ms := runMarked(t, `
+func main() {
+	for var i = 0; i < 3; i = i + 1 {
+		barrier();
+	}
+}`, 1)
+	script := strings.Join(ms[0].script, " ")
+	// Init, LoopEnter, 3x (Iter Barrier), Exit, Finalize event + FIN.
+	want := "MPI_Init L+"
+	if !strings.HasPrefix(script, "MPI_Init L") {
+		t.Fatalf("script = %s (want prefix %q)", script, want)
+	}
+	if got := countOf(ms[0].script, "MPI_Barrier"); got != 3 {
+		t.Fatalf("barriers = %d", got)
+	}
+	iters := 0
+	for _, s := range ms[0].script {
+		if strings.HasPrefix(s, "I") {
+			iters++
+		}
+	}
+	if iters != 3 {
+		t.Fatalf("loop iters = %d, want 3", iters)
+	}
+	if got := countOf(ms[0].script, "X"); got != 1 {
+		t.Fatalf("struct exits = %d, want 1", got)
+	}
+}
+
+func TestZeroIterationLoopStillBracketted(t *testing.T) {
+	ms := runMarked(t, `
+func main() {
+	for var i = 0; i < 0; i = i + 1 {
+		barrier();
+	}
+	allreduce(8);
+}`, 1)
+	s := ms[0].script
+	// LoopEnter immediately followed by StructExit, no iterations.
+	joined := strings.Join(s, " ")
+	if !strings.Contains(joined, "L+") || countOf(s, "X") != 1 {
+		t.Fatalf("script = %v", s)
+	}
+	for _, tok := range s {
+		if strings.HasPrefix(tok, "I") && tok != "MPI_Init" {
+			t.Fatalf("unexpected iteration marker in %v", s)
+		}
+	}
+	if countOf(s, "MPI_Allreduce") != 1 {
+		t.Fatalf("allreduce missing: %v", s)
+	}
+}
+
+func TestBranchMarkersAndSkip(t *testing.T) {
+	ms := runMarked(t, `
+func main() {
+	for var i = 0; i < 4; i = i + 1 {
+		if i % 2 == 0 {
+			barrier();
+		}
+	}
+}`, 1)
+	s := ms[0].script
+	taken, skipped := 0, 0
+	for _, tok := range s {
+		if strings.HasPrefix(tok, "B+") {
+			taken++
+		}
+		if strings.HasPrefix(tok, "B0") {
+			skipped++
+		}
+	}
+	if taken != 2 || skipped != 2 {
+		t.Fatalf("taken=%d skipped=%d script=%v", taken, skipped, s)
+	}
+}
+
+func TestElseArmMarker(t *testing.T) {
+	ms := runMarked(t, `
+func main() {
+	if rank == 0 { barrier(); } else { barrier(); }
+}`, 2)
+	if !strings.Contains(strings.Join(ms[0].script, " "), "/0") {
+		t.Fatalf("rank 0 should take arm 0: %v", ms[0].script)
+	}
+	if !strings.Contains(strings.Join(ms[1].script, " "), "/1") {
+		t.Fatalf("rank 1 should take arm 1: %v", ms[1].script)
+	}
+}
+
+func TestCallMarkersBracketBody(t *testing.T) {
+	ms := runMarked(t, `
+func main() { f(); }
+func f() { barrier(); }`, 1)
+	joined := strings.Join(ms[0].script, " ")
+	if !strings.Contains(joined, "C+") {
+		t.Fatalf("no call marker: %v", ms[0].script)
+	}
+	// MPI_Barrier must appear between C+ and the matching X.
+	var ci, bi int
+	for i, tok := range ms[0].script {
+		if strings.HasPrefix(tok, "C+") {
+			ci = i
+		}
+		if tok == "MPI_Barrier" {
+			bi = i
+		}
+	}
+	if bi < ci {
+		t.Fatalf("event outside call bracket: %v", ms[0].script)
+	}
+}
+
+func TestMarkersBalanced(t *testing.T) {
+	ms := runMarked(t, `
+func main() {
+	for var i = 0; i < 3; i = i + 1 {
+		if i == 1 { f(i); } else { barrier(); }
+	}
+}
+func f(n) {
+	while n > 0 {
+		barrier();
+		n = n - 1;
+	}
+	if n == 0 { return; }
+	barrier();
+}`, 1)
+	depth := 0
+	for _, tok := range ms[0].script {
+		if strings.HasPrefix(tok, "L+") || strings.HasPrefix(tok, "B+") || strings.HasPrefix(tok, "C+") {
+			depth++
+		}
+		if tok == "X" {
+			depth--
+			if depth < 0 {
+				t.Fatalf("unbalanced exits: %v", ms[0].script)
+			}
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("depth = %d at end: %v", depth, ms[0].script)
+	}
+}
+
+func TestEarlyReturnUnwindsMarkers(t *testing.T) {
+	ms := runMarked(t, `
+func main() { f(); barrier(); }
+func f() {
+	for var i = 0; i < 10; i = i + 1 {
+		if i == 2 { return; }
+		barrier();
+	}
+}`, 1)
+	// Loop iterated 3 times (i=0,1,2) then returned.
+	iters := 0
+	depth := 0
+	for _, tok := range ms[0].script {
+		if strings.HasPrefix(tok, "I") && tok != "MPI_Init" {
+			iters++
+		}
+		if strings.HasPrefix(tok, "L+") || strings.HasPrefix(tok, "B+") || strings.HasPrefix(tok, "C+") {
+			depth++
+		}
+		if tok == "X" {
+			depth--
+		}
+	}
+	if iters != 3 {
+		t.Fatalf("iterations = %d, want 3: %v", iters, ms[0].script)
+	}
+	if depth != 0 {
+		t.Fatalf("markers unbalanced after early return: %v", ms[0].script)
+	}
+	if countOf(ms[0].script, "MPI_Barrier") != 3 {
+		t.Fatalf("barriers = %d, want 2 in loop + 1 after", countOf(ms[0].script, "MPI_Barrier"))
+	}
+}
+
+func TestJacobiEndToEnd(t *testing.T) {
+	src := `
+func main() {
+	for var k = 0; k < 5; k = k + 1 {
+		if rank < size - 1 { send(rank + 1, 8000, 0); }
+		if rank > 0 { recv(rank - 1, 8000, 0); }
+		if rank > 0 { send(rank - 1, 8000, 0); }
+		if rank < size - 1 { recv(rank + 1, 8000, 0); }
+		compute(1000);
+	}
+	reduce(0, 8);
+}`
+	n := 8
+	sinks := make([]trace.Sink, n)
+	cols := make([]*trace.CollectorSink, n)
+	for i := range sinks {
+		cols[i] = &trace.CollectorSink{}
+		sinks[i] = cols[i]
+	}
+	tot, err := RunProgram(src, n, mpisim.DefaultParams(), sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	// Interior ranks: Init + 5*(2 sends + 2 recvs) + reduce + finalize = 23.
+	if got := len(cols[3].Events); got != 23 {
+		t.Fatalf("interior rank events = %d, want 23", got)
+	}
+	// Boundary ranks: Init + 5*(1 send + 1 recv) + reduce + finalize = 13.
+	if got := len(cols[0].Events); got != 13 {
+		t.Fatalf("rank 0 events = %d, want 13", got)
+	}
+}
+
+func TestRecursionExecution(t *testing.T) {
+	ms := runMarked(t, `
+func main() { f(3); }
+func f(n) {
+	if n == 0 { return; }
+	bcast(0, 8);
+	f(n - 1);
+}`, 1)
+	if got := countOf(ms[0].script, "MPI_Bcast"); got != 3 {
+		t.Fatalf("bcasts = %d, want 3", got)
+	}
+}
+
+func TestNonblockingAndRequestValues(t *testing.T) {
+	src := `
+func main() {
+	var r1 = isend((rank + 1) % size, 64, 0);
+	var r2 = irecv((rank + size - 1) % size, 64, 0);
+	wait(r2);
+	wait(r1);
+}`
+	n := 4
+	sinks := make([]trace.Sink, n)
+	cols := make([]*trace.CollectorSink, n)
+	for i := range sinks {
+		cols[i] = &trace.CollectorSink{}
+		sinks[i] = cols[i]
+	}
+	if _, err := RunProgram(src, n, mpisim.Params{}, sinks); err != nil {
+		t.Fatal(err)
+	}
+	ev := cols[0].Events
+	// Init, Isend, Irecv, Wait, Wait, Finalize.
+	ops := []trace.Op{trace.OpInit, trace.OpIsend, trace.OpIrecv, trace.OpWait, trace.OpWait, trace.OpFinalize}
+	for i, op := range ops {
+		if ev[i].Op != op {
+			t.Fatalf("event %d = %v, want %v", i, ev[i].Op, op)
+		}
+	}
+	if ev[3].Reqs[0] != 1 || ev[4].Reqs[0] != 0 {
+		t.Fatalf("wait order wrong: %v %v", ev[3].Reqs, ev[4].Reqs)
+	}
+}
+
+func TestWildcardProgram(t *testing.T) {
+	src := `
+func main() {
+	if rank == 0 {
+		for var i = 0; i < size - 1; i = i + 1 {
+			recv(ANY, 32, 5);
+		}
+	} else {
+		send(0, 32, 5);
+	}
+}`
+	n := 5
+	sinks := make([]trace.Sink, n)
+	cols := make([]*trace.CollectorSink, n)
+	for i := range sinks {
+		cols[i] = &trace.CollectorSink{}
+		sinks[i] = cols[i]
+	}
+	if _, err := RunProgram(src, n, mpisim.Params{}, sinks); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, e := range cols[0].Events {
+		if e.Op == trace.OpRecv {
+			if !e.Wildcard {
+				t.Fatal("wildcard flag lost")
+			}
+			seen[e.Peer] = true
+		}
+	}
+	if len(seen) != n-1 {
+		t.Fatalf("matched %d distinct sources, want %d", len(seen), n-1)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		`func main() { var x = 1 / (rank - rank); compute(x); }`: "division by zero",
+		`func main() { var x = 1 % (rank * 0); compute(x); }`:    "modulo by zero",
+		`func main() { send(0, 0 - 5, 0); }`:                     "size",
+		`func main() { wait(42); }`:                              "unknown request",
+		`func main() { var x = log2(0); compute(x); }`:           "log2",
+	}
+	for src, want := range cases {
+		_, err := RunProgram(src, 1, mpisim.Params{}, nil)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("RunProgram(%q) err = %v, want %q", src, err, want)
+		}
+	}
+}
+
+func TestBuiltinHelpers(t *testing.T) {
+	src := `
+func main() {
+	var a = min(3, 7) + max(3, 7) * 10 + log2(1024);
+	if a != 3 + 70 + 10 { send(0, 0 - 1, 0); }
+	compute(a);
+}`
+	if _, err := RunProgram(src, 1, mpisim.Params{}, nil); err != nil {
+		t.Fatalf("helper arithmetic wrong: %v", err)
+	}
+}
+
+func TestWhileLoopExecution(t *testing.T) {
+	ms := runMarked(t, `
+func main() {
+	var l = 1;
+	while l < size {
+		allreduce(8);
+		l = l * 2;
+	}
+}`, 8)
+	if got := countOf(ms[0].script, "MPI_Allreduce"); got != 3 {
+		t.Fatalf("allreduces = %d, want log2(8)=3", got)
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	if _, err := RunProgram("func main( {", 1, mpisim.Params{}, nil); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	if _, err := RunProgram("func notmain() { }", 1, mpisim.Params{}, nil); err == nil {
+		t.Fatal("check error not surfaced")
+	}
+}

@@ -1,0 +1,187 @@
+// Package ir lowers MPL ASTs to a control-flow-graph intermediate
+// representation and provides the classic analyses CYPRESS's static module
+// runs at the LLVM IR level in the paper: dominator computation, natural
+// loop identification (the "classic dominator-based algorithm" of
+// Algorithm 1), and program call-graph construction for the bottom-up
+// inter-procedural pass (Algorithm 2).
+//
+// Only control structure and invocation sites matter to the trace
+// compressor, so instructions carry call sites and AST references rather
+// than a full value language.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Func is one procedure in CFG form. Blocks[0] is the entry block.
+type Func struct {
+	Name   string
+	Decl   *lang.FuncDecl
+	Blocks []*Block
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Term   Terminator
+	Preds  []*Block
+	Succs  []*Block
+
+	// LoopSite is the AST node of the loop statement when this block is
+	// the lowered loop header, lang.NoNode otherwise. Used to cross-check
+	// the dominator-based loop finder against source structure.
+	LoopSite lang.NodeID
+}
+
+// Instr is a non-terminator instruction.
+type Instr interface {
+	instr()
+	String() string
+}
+
+// CallInstr is an invocation of a user-defined function or an intrinsic.
+// Calls embedded in expressions are hoisted in evaluation order, so every
+// invocation in the program is visible as a discrete instruction, matching
+// Algorithm 1's "for all invocation i ∈ n".
+type CallInstr struct {
+	Callee string
+	Site   lang.NodeID // the lang.CallExpr node
+	NArgs  int
+}
+
+func (*CallInstr) instr() {}
+func (c *CallInstr) String() string {
+	return fmt.Sprintf("call %s/%d @%d", c.Callee, c.NArgs, c.Site)
+}
+
+// OpInstr stands for straight-line computation (assignments, declarations)
+// that the trace compressor never inspects.
+type OpInstr struct {
+	Site lang.NodeID
+}
+
+func (*OpInstr) instr()           {}
+func (o *OpInstr) String() string { return fmt.Sprintf("op @%d", o.Site) }
+
+// Terminator ends a basic block.
+type Terminator interface {
+	term()
+	String() string
+	successors() []*Block
+}
+
+// Jump transfers unconditionally.
+type Jump struct {
+	Target *Block
+}
+
+func (*Jump) term()                  {}
+func (j *Jump) String() string       { return fmt.Sprintf("jump b%d", j.Target.ID) }
+func (j *Jump) successors() []*Block { return []*Block{j.Target} }
+
+// CondBr transfers on a condition. Site identifies the source construct:
+// the lang.IfStmt for branches, the lang.ForStmt/WhileStmt for loop headers.
+type CondBr struct {
+	Site        lang.NodeID
+	True, False *Block
+	IsLoopCond  bool
+}
+
+func (*CondBr) term() {}
+func (c *CondBr) String() string {
+	kind := "br"
+	if c.IsLoopCond {
+		kind = "loopbr"
+	}
+	return fmt.Sprintf("%s @%d b%d b%d", kind, c.Site, c.True.ID, c.False.ID)
+}
+func (c *CondBr) successors() []*Block { return []*Block{c.True, c.False} }
+
+// Ret leaves the function.
+type Ret struct{}
+
+func (*Ret) term()                {}
+func (*Ret) String() string       { return "ret" }
+func (*Ret) successors() []*Block { return nil }
+
+// Program is the IR for a whole MPL program.
+type Program struct {
+	Funcs  []*Func
+	ByName map[string]*Func
+	Source *lang.Program
+}
+
+// String renders the CFG for debugging.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s:\n", f.Name)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "  b%d:", blk.ID)
+		if blk.LoopSite != lang.NoNode {
+			fmt.Fprintf(&b, " (loop header @%d)", blk.LoopSite)
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "    %s\n", in.String())
+		}
+		if blk.Term != nil {
+			fmt.Fprintf(&b, "    %s\n", blk.Term.String())
+		}
+	}
+	return b.String()
+}
+
+// computeEdges fills Preds/Succs from terminators.
+func (f *Func) computeEdges() {
+	for _, b := range f.Blocks {
+		b.Preds, b.Succs = nil, nil
+	}
+	for _, b := range f.Blocks {
+		if b.Term == nil {
+			continue
+		}
+		for _, s := range b.Term.successors() {
+			b.Succs = append(b.Succs, s)
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// reachableOnly removes blocks unreachable from the entry (e.g. code after
+// return) and recomputes edges and IDs.
+func (f *Func) reachableOnly() {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	seen := map[*Block]bool{}
+	var stack []*Block
+	stack = append(stack, f.Blocks[0])
+	seen[f.Blocks[0]] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.Term == nil {
+			continue
+		}
+		for _, s := range b.Term.successors() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var kept []*Block
+	for _, b := range f.Blocks {
+		if seen[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.computeEdges()
+}

@@ -1,0 +1,315 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := lang.Check(ast); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+const fig5Src = `
+func main() {
+	for var i = 0; i < 4; i = i + 1 {
+		if rank % 2 == 0 {
+			send(rank + 1, 64, 0);
+		} else {
+			recv(rank - 1, 64, 0);
+		}
+		bar();
+	}
+	foo();
+	if rank % 2 == 0 {
+		reduce(0, 8);
+	}
+}
+func bar() {
+	for var k = 0; k < 3; k = k + 1 {
+		bcast(0, 64);
+	}
+}
+func foo() {
+	var sum = 0;
+	for var j = 0; j < 5; j = j + 1 {
+		sum = sum + j;
+	}
+}
+`
+
+func TestLowerStraightLine(t *testing.T) {
+	p := lower(t, `func main() { send(1, 8, 0); recv(1, 8, 0); }`)
+	f := p.ByName["main"]
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1:\n%s", len(f.Blocks), f)
+	}
+	calls := collectCalls(f)
+	if len(calls) != 2 || calls[0].Callee != "send" || calls[1].Callee != "recv" {
+		t.Fatalf("calls = %v", calls)
+	}
+	if _, ok := f.Blocks[0].Term.(*Ret); !ok {
+		t.Fatalf("entry must end in ret, got %v", f.Blocks[0].Term)
+	}
+}
+
+func collectCalls(f *Func) []*CallInstr {
+	var out []*CallInstr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*CallInstr); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func TestLowerIfElseShape(t *testing.T) {
+	p := lower(t, `
+func main() {
+	if rank == 0 { send(1, 8, 0); } else { recv(0, 8, 0); }
+	barrier();
+}`)
+	f := p.ByName["main"]
+	// entry(condbr), then, else, join = 4 blocks.
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d:\n%s", len(f.Blocks), f)
+	}
+	cb, ok := f.Blocks[0].Term.(*CondBr)
+	if !ok || cb.IsLoopCond {
+		t.Fatalf("entry term = %v", f.Blocks[0].Term)
+	}
+	if cb.True == cb.False {
+		t.Fatal("then and else arms must differ")
+	}
+	if len(NaturalLoops(f)) != 0 {
+		t.Fatal("if/else must produce no loops")
+	}
+}
+
+func TestLowerLoopShape(t *testing.T) {
+	p := lower(t, `func main() { for var i = 0; i < 3; i = i + 1 { barrier(); } }`)
+	f := p.ByName["main"]
+	loops := NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d:\n%s", len(loops), f)
+	}
+	l := loops[0]
+	if l.Site == lang.NoNode {
+		t.Fatal("loop lost its source annotation")
+	}
+	if l.Header.LoopSite != l.Site {
+		t.Fatal("header annotation mismatch")
+	}
+	// Loop body must contain the header and the body block.
+	if len(l.Blocks) < 2 {
+		t.Fatalf("loop blocks = %d", len(l.Blocks))
+	}
+	if err := VerifyLoopAnnotations(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerNestedLoops(t *testing.T) {
+	p := lower(t, `
+func main() {
+	for var i = 0; i < 3; i = i + 1 {
+		bcast(0, 8);
+		for var j = 0; j < i; j = j + 1 {
+			var r1 = isend(rank + 1, 8, 0);
+			var r2 = irecv(rank - 1, 8, 0);
+			waitall();
+			compute(r1 + r2);
+		}
+	}
+}`)
+	f := p.ByName["main"]
+	loops := NaturalLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d:\n%s", len(loops), f)
+	}
+	// The outer loop body must strictly contain the inner loop's blocks.
+	outer, inner := loops[0], loops[1]
+	if len(outer.Blocks) < len(inner.Blocks) {
+		outer, inner = inner, outer
+	}
+	member := map[*Block]bool{}
+	for _, b := range outer.Blocks {
+		member[b] = true
+	}
+	for _, b := range inner.Blocks {
+		if !member[b] {
+			t.Fatalf("inner loop block b%d not inside outer loop", b.ID)
+		}
+	}
+	if err := VerifyLoopAnnotations(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerWhile(t *testing.T) {
+	p := lower(t, `
+func main() {
+	var l = 1;
+	while l < size {
+		send(rank + l, 8, 0);
+		l = l * 2;
+	}
+}`)
+	f := p.ByName["main"]
+	if len(NaturalLoops(f)) != 1 {
+		t.Fatalf("while loop not found:\n%s", f)
+	}
+	if err := VerifyLoopAnnotations(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReturnPrunesUnreachable(t *testing.T) {
+	p := lower(t, `
+func main() { f(); }
+func f() {
+	if rank == 0 { return; }
+	barrier();
+	return;
+	send(1, 8, 0);
+}`)
+	f := p.ByName["f"]
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*CallInstr); ok && c.Callee == "send" {
+				t.Fatal("unreachable call not pruned")
+			}
+		}
+	}
+	if err := VerifyLoopAnnotations(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallsHoistedInEvaluationOrder(t *testing.T) {
+	p := lower(t, `
+func main() { var x = g(h(1)) + h(2); compute(x); }
+func g(a) { return a; }
+func h(a) { return a; }`)
+	calls := collectCalls(p.ByName["main"])
+	var names []string
+	for _, c := range calls {
+		names = append(names, c.Callee)
+	}
+	want := "h g h compute"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("call order = %q, want %q", got, want)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	p := lower(t, `
+func main() {
+	if rank == 0 { barrier(); } else { barrier(); }
+	barrier();
+}`)
+	f := p.ByName["main"]
+	idom := Dominators(f)
+	// Entry dominates everything; the join block's idom is the entry.
+	entry := f.Blocks[0]
+	cb := entry.Term.(*CondBr)
+	join := cb.True.Term.(*Jump).Target
+	if idom[join.ID] != entry.ID {
+		t.Fatalf("idom[join]=%d want %d", idom[join.ID], entry.ID)
+	}
+	if idom[cb.True.ID] != entry.ID || idom[cb.False.ID] != entry.ID {
+		t.Fatal("arms must be dominated directly by the entry")
+	}
+	for _, b := range f.Blocks {
+		if !dominates(idom, entry.ID, b.ID) {
+			t.Fatalf("entry must dominate b%d", b.ID)
+		}
+	}
+}
+
+func TestCallGraphAndPostOrder(t *testing.T) {
+	p := lower(t, fig5Src)
+	cg := BuildCallGraph(p)
+	if got := cg.Callees["main"]; len(got) != 2 || got[0] != "bar" || got[1] != "foo" {
+		t.Fatalf("main callees = %v", got)
+	}
+	if len(cg.Callees["bar"]) != 0 {
+		t.Fatalf("bar callees = %v", cg.Callees["bar"])
+	}
+	po := cg.PostOrderFrom("main")
+	if po[len(po)-1] != "main" {
+		t.Fatalf("post order must end at main: %v", po)
+	}
+	pos := map[string]int{}
+	for i, n := range po {
+		pos[n] = i
+	}
+	if pos["bar"] > pos["main"] || pos["foo"] > pos["main"] {
+		t.Fatalf("callees must precede callers: %v", po)
+	}
+}
+
+func TestCallGraphRecursion(t *testing.T) {
+	p := lower(t, `
+func main() { f(3); }
+func f(n) { if n > 0 { bcast(0, 8); f(n - 1); } }`)
+	cg := BuildCallGraph(p)
+	if got := cg.Callees["f"]; len(got) != 1 || got[0] != "f" {
+		t.Fatalf("f callees = %v", got)
+	}
+	po := cg.PostOrderFrom("main")
+	if len(po) != 2 || po[0] != "f" || po[1] != "main" {
+		t.Fatalf("post order = %v", po)
+	}
+}
+
+func TestVerifyAllNPBLikeShapes(t *testing.T) {
+	// Mixed nesting: loop in branch, branch in loop, else-if chains.
+	p := lower(t, `
+func main() {
+	if rank == 0 {
+		for var i = 0; i < 3; i = i + 1 { send(1, 8, i); }
+	} else if rank == 1 {
+		for var i = 0; i < 3; i = i + 1 { recv(0, 8, i); }
+	} else {
+		while rank > size { barrier(); }
+	}
+	for var r = 0; r < 2; r = r + 1 {
+		if r == 0 { allreduce(8); }
+	}
+}`)
+	for _, f := range p.Funcs {
+		if err := VerifyLoopAnnotations(f); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+	}
+	loops := NaturalLoops(p.ByName["main"])
+	if len(loops) != 4 {
+		t.Fatalf("loops = %d, want 4", len(loops))
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	p := lower(t, `func main() { for var i = 0; i < 2; i = i + 1 { barrier(); } }`)
+	s := p.ByName["main"].String()
+	for _, frag := range []string{"func main", "loop header", "call barrier", "loopbr", "ret"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}

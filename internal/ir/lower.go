@@ -1,0 +1,199 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Lower translates a checked MPL program to CFG form.
+func Lower(prog *lang.Program) (*Program, error) {
+	out := &Program{ByName: map[string]*Func{}, Source: prog}
+	for _, fd := range prog.Funcs {
+		fn, err := lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, fn)
+		out.ByName[fn.Name] = fn
+	}
+	return out, nil
+}
+
+type lowerer struct {
+	fn  *Func
+	cur *Block
+}
+
+func lowerFunc(fd *lang.FuncDecl) (*Func, error) {
+	l := &lowerer{fn: &Func{Name: fd.Name, Decl: fd}}
+	entry := l.newBlock()
+	l.cur = entry
+	if err := l.block(fd.Body); err != nil {
+		return nil, err
+	}
+	if l.cur.Term == nil {
+		l.cur.Term = &Ret{}
+	}
+	l.fn.reachableOnly()
+	return l.fn, nil
+}
+
+func (l *lowerer) newBlock() *Block {
+	b := &Block{ID: len(l.fn.Blocks), LoopSite: lang.NoNode}
+	l.fn.Blocks = append(l.fn.Blocks, b)
+	return b
+}
+
+// emitCalls hoists every call in e into discrete CallInstrs, in left-to-right
+// evaluation order (MPL evaluates eagerly, including both operands of && and
+// ||, so evaluation order is the syntactic order).
+func (l *lowerer) emitCalls(e lang.Expr) {
+	switch e := e.(type) {
+	case *lang.UnaryExpr:
+		l.emitCalls(e.X)
+	case *lang.BinaryExpr:
+		l.emitCalls(e.L)
+		l.emitCalls(e.R)
+	case *lang.CallExpr:
+		for _, a := range e.Args {
+			l.emitCalls(a)
+		}
+		l.cur.Instrs = append(l.cur.Instrs, &CallInstr{Callee: e.Name, Site: e.ID(), NArgs: len(e.Args)})
+	}
+}
+
+func (l *lowerer) block(b *lang.Block) error {
+	for _, s := range b.Stmts {
+		if l.cur.Term != nil {
+			// Code after return: lower into a fresh unreachable block so the
+			// structure is still well formed; reachableOnly prunes it.
+			l.cur = l.newBlock()
+		}
+		if err := l.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) stmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.VarStmt:
+		l.emitCalls(s.Init)
+		l.cur.Instrs = append(l.cur.Instrs, &OpInstr{Site: s.ID()})
+		return nil
+	case *lang.AssignStmt:
+		l.emitCalls(s.Value)
+		l.cur.Instrs = append(l.cur.Instrs, &OpInstr{Site: s.ID()})
+		return nil
+	case *lang.ExprStmt:
+		l.emitCalls(s.X)
+		return nil
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			l.emitCalls(s.Value)
+		}
+		l.cur.Term = &Ret{}
+		return nil
+	case *lang.Block:
+		return l.block(s)
+	case *lang.IfStmt:
+		return l.ifStmt(s)
+	case *lang.ForStmt:
+		return l.forStmt(s)
+	case *lang.WhileStmt:
+		return l.whileStmt(s)
+	}
+	return fmt.Errorf("ir: cannot lower %T", s)
+}
+
+func (l *lowerer) ifStmt(s *lang.IfStmt) error {
+	l.emitCalls(s.Cond)
+	condBlk := l.cur
+	thenBlk := l.newBlock()
+	var elseBlk *Block
+	join := l.newBlock()
+
+	l.cur = thenBlk
+	if err := l.block(s.Then); err != nil {
+		return err
+	}
+	if l.cur.Term == nil {
+		l.cur.Term = &Jump{Target: join}
+	}
+
+	falseTarget := join
+	if s.Else != nil {
+		elseBlk = l.newBlock()
+		falseTarget = elseBlk
+		l.cur = elseBlk
+		if err := l.stmt(s.Else); err != nil {
+			return err
+		}
+		if l.cur.Term == nil {
+			l.cur.Term = &Jump{Target: join}
+		}
+	}
+	condBlk.Term = &CondBr{Site: s.ID(), True: thenBlk, False: falseTarget}
+	l.cur = join
+	return nil
+}
+
+func (l *lowerer) forStmt(s *lang.ForStmt) error {
+	if s.Init != nil {
+		if err := l.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	header := l.newBlock()
+	header.LoopSite = s.ID()
+	if l.cur.Term == nil {
+		l.cur.Term = &Jump{Target: header}
+	}
+	body := l.newBlock()
+	exit := l.newBlock()
+
+	l.cur = header
+	l.emitCalls(s.Cond)
+	header.Term = &CondBr{Site: s.ID(), True: body, False: exit, IsLoopCond: true}
+
+	l.cur = body
+	if err := l.block(s.Body); err != nil {
+		return err
+	}
+	if s.Post != nil && l.cur.Term == nil {
+		if err := l.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	if l.cur.Term == nil {
+		l.cur.Term = &Jump{Target: header} // back edge
+	}
+	l.cur = exit
+	return nil
+}
+
+func (l *lowerer) whileStmt(s *lang.WhileStmt) error {
+	header := l.newBlock()
+	header.LoopSite = s.ID()
+	if l.cur.Term == nil {
+		l.cur.Term = &Jump{Target: header}
+	}
+	body := l.newBlock()
+	exit := l.newBlock()
+
+	l.cur = header
+	l.emitCalls(s.Cond)
+	header.Term = &CondBr{Site: s.ID(), True: body, False: exit, IsLoopCond: true}
+
+	l.cur = body
+	if err := l.block(s.Body); err != nil {
+		return err
+	}
+	if l.cur.Term == nil {
+		l.cur.Term = &Jump{Target: header}
+	}
+	l.cur = exit
+	return nil
+}

@@ -1,0 +1,373 @@
+package lang
+
+import "fmt"
+
+// Check performs semantic analysis: name resolution, arity checking, builtin
+// misuse detection, and recursion-cycle discovery (recursive functions are
+// legal; the CST builder converts them to pseudo-loops per the paper).
+// It returns the set of functions that participate in recursion cycles.
+func Check(prog *Program) (recursive map[string]bool, err error) {
+	if _, ok := prog.ByName["main"]; !ok {
+		return nil, fmt.Errorf("program has no func main")
+	}
+	if n := len(prog.ByName["main"].Params); n != 0 {
+		return nil, errf(prog.ByName["main"].Pos(), "func main must take no parameters, has %d", n)
+	}
+	for _, fn := range prog.Funcs {
+		c := &checker{prog: prog, fn: fn}
+		if err := c.checkFunc(); err != nil {
+			return nil, err
+		}
+	}
+	return findRecursive(prog), nil
+}
+
+// Predeclared read-only variables available in every function.
+var predeclared = map[string]bool{"rank": true, "size": true}
+
+type checker struct {
+	prog   *Program
+	fn     *FuncDecl
+	scopes []map[string]bool
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]bool{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, name string) error {
+	if predeclared[name] {
+		return errf(pos, "cannot redeclare builtin variable %q", name)
+	}
+	top := c.scopes[len(c.scopes)-1]
+	if top[name] {
+		return errf(pos, "variable %q redeclared in this block", name)
+	}
+	top[name] = true
+	return nil
+}
+
+func (c *checker) resolved(name string) bool {
+	if predeclared[name] {
+		return true
+	}
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if c.scopes[i][name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkFunc() error {
+	c.scopes = nil
+	c.push()
+	for _, prm := range c.fn.Params {
+		if err := c.declare(c.fn.Pos(), prm); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(c.fn.Body)
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarStmt:
+		if err := c.checkExpr(s.Init); err != nil {
+			return err
+		}
+		return c.declare(s.Pos(), s.Name)
+	case *AssignStmt:
+		if predeclared[s.Name] {
+			return errf(s.Pos(), "cannot assign to builtin variable %q", s.Name)
+		}
+		if !c.resolved(s.Name) {
+			return errf(s.Pos(), "assignment to undeclared variable %q", s.Name)
+		}
+		return c.checkExpr(s.Value)
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond == nil {
+			return errf(s.Pos(), "for loop without condition (MPL has no break)")
+		}
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(s.Body)
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return c.checkExpr(s.Value)
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(s.X)
+	case *Block:
+		return c.checkBlock(s)
+	}
+	return errf(s.Pos(), "unknown statement type %T", s)
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil
+	case *AnyLit:
+		return errf(e.Pos(), "ANY is only valid as the source argument of recv/irecv")
+	case *Ident:
+		if !c.resolved(e.Name) {
+			if _, isFn := c.prog.ByName[e.Name]; isFn || IsIntrinsic(e.Name) {
+				return errf(e.Pos(), "%q is a function; did you mean %s(...)?", e.Name, e.Name)
+			}
+			return errf(e.Pos(), "undeclared variable %q", e.Name)
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkExpr(e.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(e.L); err != nil {
+			return err
+		}
+		return c.checkExpr(e.R)
+	case *CallExpr:
+		return c.checkCall(e)
+	}
+	return errf(e.Pos(), "unknown expression type %T", e)
+}
+
+// checkCond checks a loop/branch condition. Conditions must be pure: they may
+// not call user functions or side-effecting intrinsics (communication,
+// compute), because conditions are re-evaluated outside the control
+// structure's CST vertex and impure conditions would desynchronize the static
+// structure tree from the runtime event stream.
+func (c *checker) checkCond(e Expr) error {
+	var impure error
+	walkExprCalls(e, func(name string) {
+		if impure != nil {
+			return
+		}
+		in, ok := Intrinsics[name]
+		if !ok || in.IsComm || name == "compute" {
+			impure = errf(e.Pos(), "condition must be pure: call to %q not allowed here", name)
+		}
+	})
+	if impure != nil {
+		return impure
+	}
+	return c.checkExpr(e)
+}
+
+func (c *checker) checkCall(e *CallExpr) error {
+	if in, ok := Intrinsics[e.Name]; ok {
+		if len(e.Args) != in.Arity {
+			return errf(e.Pos(), "%s takes %d argument(s), got %d", e.Name, in.Arity, len(e.Args))
+		}
+		for i, a := range e.Args {
+			if _, isAny := a.(*AnyLit); isAny {
+				wildOK := (e.Name == "recv" || e.Name == "irecv") && i == 0
+				if !wildOK {
+					return errf(a.Pos(), "ANY is only valid as the source argument of recv/irecv")
+				}
+				continue
+			}
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	callee, ok := c.prog.ByName[e.Name]
+	if !ok {
+		return errf(e.Pos(), "call to undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(callee.Params) {
+		return errf(e.Pos(), "%s takes %d argument(s), got %d", e.Name, len(callee.Params), len(e.Args))
+	}
+	for _, a := range e.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findRecursive returns the functions on call-graph cycles (including
+// self-recursion) via Tarjan's strongly connected components.
+func findRecursive(prog *Program) map[string]bool {
+	// Build adjacency: function -> called user functions.
+	callees := map[string][]string{}
+	for _, fn := range prog.Funcs {
+		seen := map[string]bool{}
+		walkCalls(fn.Body, func(name string) {
+			if _, ok := prog.ByName[name]; ok && !seen[name] {
+				seen[name] = true
+				callees[fn.Name] = append(callees[fn.Name], name)
+			}
+		})
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	rec := map[string]bool{}
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					rec[w] = true
+				}
+			} else {
+				// Self-loop: v calls v directly.
+				for _, w := range callees[v] {
+					if w == v {
+						rec[v] = true
+					}
+				}
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if _, seen := index[fn.Name]; !seen {
+			strongconnect(fn.Name)
+		}
+	}
+	return rec
+}
+
+// walkCalls visits every call-site name in a statement tree.
+func walkCalls(s Stmt, f func(name string)) {
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			walkCalls(st, f)
+		}
+	case *VarStmt:
+		walkExprCalls(s.Init, f)
+	case *AssignStmt:
+		walkExprCalls(s.Value, f)
+	case *IfStmt:
+		walkExprCalls(s.Cond, f)
+		walkCalls(s.Then, f)
+		if s.Else != nil {
+			walkCalls(s.Else, f)
+		}
+	case *ForStmt:
+		if s.Init != nil {
+			walkCalls(s.Init, f)
+		}
+		walkExprCalls(s.Cond, f)
+		if s.Post != nil {
+			walkCalls(s.Post, f)
+		}
+		walkCalls(s.Body, f)
+	case *WhileStmt:
+		walkExprCalls(s.Cond, f)
+		walkCalls(s.Body, f)
+	case *ReturnStmt:
+		if s.Value != nil {
+			walkExprCalls(s.Value, f)
+		}
+	case *ExprStmt:
+		walkExprCalls(s.X, f)
+	}
+}
+
+// WalkCallsInEvalOrder visits every call expression within e in evaluation
+// order: arguments before the call that consumes them, left to right. This is
+// the order the lowerer hoists call instructions and the order the
+// interpreter executes them, so the CST builder uses it to lay out leaves.
+func WalkCallsInEvalOrder(e Expr, f func(*CallExpr)) {
+	switch e := e.(type) {
+	case *UnaryExpr:
+		WalkCallsInEvalOrder(e.X, f)
+	case *BinaryExpr:
+		WalkCallsInEvalOrder(e.L, f)
+		WalkCallsInEvalOrder(e.R, f)
+	case *CallExpr:
+		for _, a := range e.Args {
+			WalkCallsInEvalOrder(a, f)
+		}
+		f(e)
+	}
+}
+
+func walkExprCalls(e Expr, f func(name string)) {
+	switch e := e.(type) {
+	case *UnaryExpr:
+		walkExprCalls(e.X, f)
+	case *BinaryExpr:
+		walkExprCalls(e.L, f)
+		walkExprCalls(e.R, f)
+	case *CallExpr:
+		f(e.Name)
+		for _, a := range e.Args {
+			walkExprCalls(a, f)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a parsed program in canonical MPL style: tab
+// indentation, one statement per line, minimal parentheses (re-inserted only
+// where precedence requires them). Formatting a parse of the output yields
+// the same AST shape, which the tests verify.
+func Format(p *Program) string {
+	f := &formatter{}
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			f.b.WriteByte('\n')
+		}
+		f.funcDecl(fn)
+	}
+	return f.b.String()
+}
+
+type formatter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (f *formatter) line(s string) {
+	f.b.WriteString(strings.Repeat("\t", f.indent))
+	f.b.WriteString(s)
+	f.b.WriteByte('\n')
+}
+
+func (f *formatter) funcDecl(fn *FuncDecl) {
+	f.line(fmt.Sprintf("func %s(%s) {", fn.Name, strings.Join(fn.Params, ", ")))
+	f.indent++
+	f.stmts(fn.Body.Stmts)
+	f.indent--
+	f.line("}")
+}
+
+func (f *formatter) stmts(ss []Stmt) {
+	for _, s := range ss {
+		f.stmt(s)
+	}
+}
+
+func (f *formatter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarStmt:
+		f.line(fmt.Sprintf("var %s = %s;", s.Name, f.expr(s.Init, 0)))
+	case *AssignStmt:
+		f.line(fmt.Sprintf("%s = %s;", s.Name, f.expr(s.Value, 0)))
+	case *ExprStmt:
+		f.line(f.expr(s.X, 0) + ";")
+	case *ReturnStmt:
+		if s.Value != nil {
+			f.line("return " + f.expr(s.Value, 0) + ";")
+		} else {
+			f.line("return;")
+		}
+	case *Block:
+		f.line("{")
+		f.indent++
+		f.stmts(s.Stmts)
+		f.indent--
+		f.line("}")
+	case *IfStmt:
+		f.ifChain(s, "if ")
+	case *ForStmt:
+		head := "for "
+		if s.Init != nil {
+			head += f.simpleStmt(s.Init)
+		}
+		head += "; " + f.expr(s.Cond, 0) + ";"
+		if s.Post != nil {
+			head += " " + f.simpleStmt(s.Post)
+		}
+		f.line(head + " {")
+		f.indent++
+		f.stmts(s.Body.Stmts)
+		f.indent--
+		f.line("}")
+	case *WhileStmt:
+		f.line("while " + f.expr(s.Cond, 0) + " {")
+		f.indent++
+		f.stmts(s.Body.Stmts)
+		f.indent--
+		f.line("}")
+	default:
+		panic(fmt.Sprintf("lang: cannot format %T", s))
+	}
+}
+
+// ifChain renders if/else-if/else chains without extra nesting.
+func (f *formatter) ifChain(s *IfStmt, kw string) {
+	f.line(kw + f.expr(s.Cond, 0) + " {")
+	f.indent++
+	f.stmts(s.Then.Stmts)
+	f.indent--
+	switch e := s.Else.(type) {
+	case nil:
+		f.line("}")
+	case *IfStmt:
+		// "} else if cond {" continuation.
+		f.b.WriteString(strings.Repeat("\t", f.indent))
+		f.b.WriteString("} else ")
+		// Render the chained if without leading indentation.
+		saved := f.b.Len()
+		f.ifChain(e, "if ")
+		// Splice: remove the duplicated indent the recursive call added.
+		out := f.b.String()
+		head := out[:saved]
+		tail := strings.TrimPrefix(out[saved:], strings.Repeat("\t", f.indent))
+		f.b.Reset()
+		f.b.WriteString(head)
+		f.b.WriteString(tail)
+	case *Block:
+		f.line("} else {")
+		f.indent++
+		f.stmts(e.Stmts)
+		f.indent--
+		f.line("}")
+	default:
+		panic(fmt.Sprintf("lang: cannot format else %T", s.Else))
+	}
+}
+
+// simpleStmt renders a statement without indentation or trailing semicolon,
+// for loop headers.
+func (f *formatter) simpleStmt(s Stmt) string {
+	switch s := s.(type) {
+	case *VarStmt:
+		return fmt.Sprintf("var %s = %s", s.Name, f.expr(s.Init, 0))
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", s.Name, f.expr(s.Value, 0))
+	case *ExprStmt:
+		return f.expr(s.X, 0)
+	}
+	panic(fmt.Sprintf("lang: %T in loop header", s))
+}
+
+// binding powers mirror the parser's precedence table.
+func exprPrec(e Expr) int {
+	switch e := e.(type) {
+	case *BinaryExpr:
+		switch e.Op {
+		case OpOr:
+			return 1
+		case OpAnd:
+			return 2
+		case OpEq, OpNe, OpLt, OpGt, OpLe, OpGe:
+			return 3
+		case OpAdd, OpSub:
+			return 4
+		default:
+			return 5
+		}
+	case *UnaryExpr:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// expr renders e, parenthesizing when its precedence is below min.
+func (f *formatter) expr(e Expr, min int) string {
+	var out string
+	switch e := e.(type) {
+	case *IntLit:
+		out = fmt.Sprintf("%d", e.Value)
+	case *AnyLit:
+		out = "ANY"
+	case *Ident:
+		out = e.Name
+	case *UnaryExpr:
+		op := "!"
+		if e.Neg {
+			op = "-"
+		}
+		out = op + f.expr(e.X, exprPrec(e))
+	case *BinaryExpr:
+		p := exprPrec(e)
+		// Left-associative: the right operand needs strictly higher binding.
+		out = f.expr(e.L, p) + " " + e.Op.String() + " " + f.expr(e.R, p+1)
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = f.expr(a, 0)
+		}
+		out = e.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		panic(fmt.Sprintf("lang: cannot format expr %T", e))
+	}
+	if exprPrec(e) < min {
+		return "(" + out + ")"
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package lang
+
+import "fmt"
+
+// Lexer turns MPL source text into tokens. Comments run from "//" to end of
+// line. Whitespace is insignificant.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF tokens forever.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: INT, Lit: l.src[start:l.off], Pos: pos}, nil
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Lit: word, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Lit: word, Pos: pos}, nil
+	}
+	l.advance()
+	single := map[byte]Kind{
+		'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+		',': Comma, ';': Semicolon, '+': Plus, '-': Minus,
+		'*': Star, '/': Slash, '%': Percent,
+	}
+	if k, ok := single[c]; ok {
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	two := func(next byte, withKind, aloneKind Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Pos: pos}, nil
+		}
+		if aloneKind == EOF {
+			return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+		}
+		return Token{Kind: aloneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '=':
+		return two('=', EqEq, Assign)
+	case '<':
+		return two('=', Le, Lt)
+	case '>':
+		return two('=', Ge, Gt)
+	case '!':
+		return two('=', NotEq, Not)
+	case '&':
+		return two('&', AndAnd, EOF)
+	case '|':
+		return two('|', OrOr, EOF)
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, string(c))
+}
+
+// Tokenize lexes the whole input, for tests and tooling.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

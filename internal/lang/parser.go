@@ -1,0 +1,450 @@
+package lang
+
+import "strconv"
+
+// Parser builds an AST from MPL source, assigning dense NodeIDs in creation
+// order. It is a straightforward recursive-descent parser with one token of
+// lookahead.
+type Parser struct {
+	lex    *Lexer
+	tok    Token
+	nextID NodeID
+}
+
+// Parse parses a complete MPL program.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{base: p.newBase(p.tok.Pos), ByName: map[string]*FuncDecl{}}
+	for p.tok.Kind != EOF {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.ByName[fn.Name]; dup {
+			return nil, errf(fn.Pos(), "function %q redeclared", fn.Name)
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		prog.ByName[fn.Name] = fn
+	}
+	prog.NumNodes = int32(p.nextID)
+	return prog, nil
+}
+
+func (p *Parser) newBase(pos Pos) base {
+	b := base{id: p.nextID, pos: pos}
+	p.nextID++
+	return b
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{base: p.newBase(kw.Pos)}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	fn.Name = name.Lit
+	if IsIntrinsic(fn.Name) {
+		return nil, errf(name.Pos, "function %q shadows a builtin", fn.Name)
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != RParen {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, prm.Lit)
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	fn.Body, err = p.parseBlock()
+	return fn, err
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{base: p.newBase(lb.Pos)}
+	for p.tok.Kind != RBrace {
+		if p.tok.Kind == EOF {
+			return nil, errf(p.tok.Pos, "unexpected EOF inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk, p.advance()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case KwVar:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semicolon)
+		return s, err
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		kw := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		ret := &ReturnStmt{base: p.newBase(kw.Pos)}
+		if p.tok.Kind != Semicolon {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ret.Value = v
+		}
+		_, err := p.expect(Semicolon)
+		return ret, err
+	case LBrace:
+		return p.parseBlock()
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semicolon)
+		return s, err
+	}
+}
+
+// parseSimpleStmt parses var decls, assignments, and expression statements
+// without consuming a trailing semicolon (for loop headers share it).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	if p.tok.Kind == KwVar {
+		kw := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		v := &VarStmt{base: p.newBase(kw.Pos), Name: name.Lit}
+		v.Init, err = p.parseExpr()
+		return v, err
+	}
+	// Distinguish `x = expr` from an expression statement: an IDENT followed
+	// by '=' is an assignment (MPL has no other l-values).
+	if p.tok.Kind == IDENT {
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == Assign {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			a := &AssignStmt{base: p.newBase(name.Pos), Name: name.Lit}
+			var err error
+			a.Value, err = p.parseExpr()
+			return a, err
+		}
+		// Re-parse as an expression starting from the consumed identifier.
+		x, err := p.parsePostfix(name)
+		if err != nil {
+			return nil, err
+		}
+		x, err = p.parseBinaryFrom(x, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{base: p.newBase(name.Pos), X: x}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{base: p.newBase(x.Pos()), X: x}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	s := &IfStmt{base: p.newBase(kw.Pos)}
+	var err error
+	s.Cond, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s.Then, err = p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == KwElse {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case KwIf:
+			s.Else, err = p.parseIf()
+		case LBrace:
+			s.Else, err = p.parseBlock()
+		default:
+			return nil, errf(p.tok.Pos, "expected 'if' or block after 'else', found %s", p.tok)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{base: p.newBase(kw.Pos)}
+	var err error
+	if p.tok.Kind != Semicolon {
+		s.Init, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != Semicolon {
+		s.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != LBrace {
+		s.Post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.Body, err = p.parseBlock()
+	return s, err
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.tok
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	s := &WhileStmt{base: p.newBase(kw.Pos)}
+	var err error
+	s.Cond, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s.Body, err = p.parseBlock()
+	return s, err
+}
+
+// Operator precedence, loosest first: || < && < comparisons < + - < * / %.
+func precedence(k Kind) (BinOp, int, bool) {
+	switch k {
+	case OrOr:
+		return OpOr, 1, true
+	case AndAnd:
+		return OpAnd, 2, true
+	case EqEq:
+		return OpEq, 3, true
+	case NotEq:
+		return OpNe, 3, true
+	case Lt:
+		return OpLt, 3, true
+	case Gt:
+		return OpGt, 3, true
+	case Le:
+		return OpLe, 3, true
+	case Ge:
+		return OpGe, 3, true
+	case Plus:
+		return OpAdd, 4, true
+	case Minus:
+		return OpSub, 4, true
+	case Star:
+		return OpMul, 5, true
+	case Slash:
+		return OpDiv, 5, true
+	case Percent:
+		return OpMod, 5, true
+	}
+	return 0, 0, false
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseBinaryFrom(l, 0)
+}
+
+// parseBinaryFrom continues precedence-climbing with l as the left operand.
+func (p *Parser) parseBinaryFrom(l Expr, minPrec int) (Expr, error) {
+	for {
+		op, prec, ok := precedence(p.tok.Kind)
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Left associativity: bind tighter operators on the right first.
+		for {
+			_, nextPrec, ok2 := precedence(p.tok.Kind)
+			if !ok2 || nextPrec <= prec {
+				break
+			}
+			r, err = p.parseBinaryFrom(r, nextPrec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		l = &BinaryExpr{base: p.newBase(pos), Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case Minus:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: p.newBase(pos), Neg: true, X: x}, nil
+	case Not:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: p.newBase(pos), Neg: false, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case INT:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &IntLit{base: p.newBase(t.Pos), Value: v}, nil
+	case KwAny:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &AnyLit{base: p.newBase(t.Pos)}, nil
+	case IDENT:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parsePostfix(t)
+	case LParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RParen)
+		return x, err
+	}
+	return nil, errf(p.tok.Pos, "expected expression, found %s", p.tok)
+}
+
+// parsePostfix finishes an identifier that may be a call.
+func (p *Parser) parsePostfix(name Token) (Expr, error) {
+	if p.tok.Kind != LParen {
+		return &Ident{base: p.newBase(name.Pos), Name: name.Lit}, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{base: p.newBase(name.Pos), Name: name.Lit}
+	for p.tok.Kind != RParen {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+	}
+	return call, p.advance()
+}

@@ -1,0 +1,95 @@
+// Package lang implements MPL, a small C-like message-passing language used
+// as the source form of the parallel programs CYPRESS analyzes. MPL replaces
+// the paper's C/Fortran + MPI inputs: it has functions, integer variables,
+// arithmetic and logical expressions, if/else, for and while loops, recursion,
+// and MPI communication intrinsics (send/recv/isend/irecv/wait*/collectives).
+//
+// The package provides the lexer, parser, AST (with stable node IDs used by
+// downstream instrumentation), and semantic checks.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	// Keywords.
+	KwFunc
+	KwVar
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwReturn
+	KwAny // wildcard receive source (MPI_ANY_SOURCE)
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Comma
+	Semicolon
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer",
+	KwFunc: "'func'", KwVar: "'var'", KwIf: "'if'", KwElse: "'else'",
+	KwFor: "'for'", KwWhile: "'while'", KwReturn: "'return'", KwAny: "'ANY'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	Comma: "','", Semicolon: "';'", Assign: "'='",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'",
+	Lt: "'<'", Gt: "'>'", Le: "'<='", Ge: "'>='", EqEq: "'=='", NotEq: "'!='",
+	AndAnd: "'&&'", OrOr: "'||'", Not: "'!'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"func": KwFunc, "var": KwVar, "if": KwIf, "else": KwElse,
+	"for": KwFor, "while": KwWhile, "return": KwReturn, "ANY": KwAny,
+}
+
+// Pos is a source location.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Lit  string // identifier name or integer literal text
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == IDENT || t.Kind == INT {
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,343 @@
+// Package merge implements CYPRESS's inter-process trace compression (paper
+// Section IV-B): per-process compressed trace trees share the structure of
+// the single static CST, so merging two trees is a lockstep pre-order walk
+// comparing only the data at corresponding vertices — O(n) per pair instead
+// of the O(n²) alignment dynamic-only tools need. A parallel binary
+// reduction combines P per-rank trees with O(n log P) span.
+//
+// Merged vertex data is annotated with stride-compressed rank sets; process
+// ranks inside point-to-point records are unified with the relative ranking
+// encoding (current rank ± constant) whenever absolute peers differ.
+package merge
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/rankset"
+	"repro/internal/stride"
+	"repro/internal/timestat"
+)
+
+// Entry is one rank-group's data for a vertex: every rank in Ranks produced
+// exactly this data (paper Figure 13's "<p0,p1: k>" annotations).
+type Entry struct {
+	Ranks *rankset.Set
+	Data  *ctt.VData
+}
+
+// Merged is a job-wide compressed trace tree.
+type Merged struct {
+	Tree     *cst.Tree
+	TreeHash uint64
+	NumRanks int
+	// noRel disables the relative-ranking peer encoding (ablation only).
+	noRel bool
+	// Entries[gid] lists rank-groups in ascending order of first rank.
+	Entries [][]Entry
+	// EventCount is the total number of MPI events across all ranks.
+	EventCount int64
+}
+
+// FromRank wraps a single rank's CTT as a one-rank merged tree.
+func FromRank(c *ctt.RankCTT) *Merged {
+	m := &Merged{
+		Tree:       c.Tree,
+		TreeHash:   c.TreeHash,
+		NumRanks:   1,
+		Entries:    make([][]Entry, len(c.Data)),
+		EventCount: c.EventCount,
+	}
+	rs := rankset.Single(c.Rank)
+	for gid := range c.Data {
+		d := &c.Data[gid]
+		if len(d.Records) == 0 && d.Counts.Len() == 0 && d.Taken.Len() == 0 {
+			continue // vertex never executed by this rank
+		}
+		m.Entries[gid] = []Entry{{Ranks: rs, Data: d}}
+	}
+	return m
+}
+
+// Pair merges b into a and returns a. Both operands are consumed: the
+// result aliases and mutates their data. Trees must be identical (SPMD).
+func Pair(a, b *Merged) (*Merged, error) {
+	if a.TreeHash != b.TreeHash {
+		return nil, fmt.Errorf("merge: CST hash mismatch: %x vs %x", a.TreeHash, b.TreeHash)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		return nil, fmt.Errorf("merge: vertex count mismatch: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	noRel := a.noRel || b.noRel
+	for gid := range a.Entries {
+		a.Entries[gid] = mergeEntryLists(a.Entries[gid], b.Entries[gid], noRel)
+	}
+	a.NumRanks += b.NumRanks
+	a.EventCount += b.EventCount
+	return a, nil
+}
+
+// mergeEntryLists folds right-hand entries into the left-hand list, unifying
+// rank groups whose data is compatible.
+func mergeEntryLists(left, right []Entry, noRel bool) []Entry {
+	for _, re := range right {
+		merged := false
+		for i := range left {
+			if rel, ok := compatible(left[i].Data, re.Data, noRel); ok {
+				unify(left[i].Data, re.Data, rel)
+				left[i].Ranks = rankset.Union(left[i].Ranks, re.Ranks)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			left = append(left, re)
+		}
+	}
+	return left
+}
+
+// compatible reports whether two vertex-data payloads are mergeable, and for
+// which records the relative-ranking encoding is required (rel[i] true means
+// record i unifies relatively). Compatibility requires identical control
+// data (loop counts, taken sets) and pairwise-compatible records.
+func compatible(a, b *ctt.VData, noRel bool) ([]bool, bool) {
+	if !a.Counts.Equal(&b.Counts) || !a.Taken.Vector.Equal(&b.Taken.Vector) {
+		return nil, false
+	}
+	if len(a.Records) != len(b.Records) || len(a.Cycles) != len(b.Cycles) {
+		return nil, false
+	}
+	for i := range a.Cycles {
+		if a.Cycles[i] != b.Cycles[i] {
+			return nil, false
+		}
+	}
+	rel := make([]bool, len(a.Records))
+	for i := range a.Records {
+		r, ok := recordCompatible(a.Records[i], b.Records[i], noRel)
+		if !ok {
+			return nil, false
+		}
+		rel[i] = r
+	}
+	return rel, true
+}
+
+// recordCompatible reports whether two records carry the same operation
+// stream, and whether unification needs the relative peer encoding.
+func recordCompatible(a, b *ctt.CommRecord, noRel bool) (rel, ok bool) {
+	ea, eb := &a.Ev, &b.Ev
+	if a.Count != b.Count || ea.Op != eb.Op || ea.Size != eb.Size ||
+		ea.Tag != eb.Tag || ea.Comm != eb.Comm || ea.Wildcard != eb.Wildcard ||
+		len(ea.Reqs) != len(eb.Reqs) {
+		return false, false
+	}
+	for i := range ea.Reqs {
+		if ea.Reqs[i] != eb.Reqs[i] {
+			return false, false
+		}
+	}
+	if !ea.Op.IsPointToPoint() {
+		// Roots of collectives and NoPeer sentinels must match absolutely.
+		return false, ea.Peer == eb.Peer
+	}
+	if (a.Peers != nil) != (b.Peers != nil) {
+		return false, false
+	}
+	if a.Peers != nil {
+		// Peer-pattern records are rank-relative by construction.
+		return true, a.Peers.Equal(b.Peers)
+	}
+	switch {
+	case a.RelEncoded || b.RelEncoded:
+		return true, a.PeerRel == b.PeerRel
+	case ea.Peer == eb.Peer:
+		return false, true
+	case noRel:
+		return false, false
+	default:
+		// Absolute peers differ; the relative encoding may still unify them
+		// (paper: "current process rank plus or minus a constant").
+		return true, a.PeerRel == b.PeerRel
+	}
+}
+
+// unify folds b's volatile payload (time statistics) into a and applies the
+// relative encoding where needed.
+func unify(a, b *ctt.VData, rel []bool) {
+	for i := range a.Records {
+		if rel[i] {
+			a.Records[i].RelEncoded = true
+		}
+		a.Records[i].Time.Merge(b.Records[i].Time)
+		a.Records[i].Compute.Merge(b.Records[i].Compute)
+	}
+}
+
+// AllNoRelative is All with the relative-ranking encoding disabled, for the
+// ablation benchmark quantifying how much that encoding contributes.
+func AllNoRelative(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
+	if len(ctts) == 0 {
+		return nil, fmt.Errorf("merge: no trees")
+	}
+	ms := make([]*Merged, len(ctts))
+	for i, c := range ctts {
+		ms[i] = FromRank(c)
+		ms[i].noRel = true
+	}
+	acc := ms[0]
+	for _, m := range ms[1:] {
+		var err error
+		acc, err = Pair(acc, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// All merges the per-rank trees of a job into one tree using a parallel
+// binary reduction (paper: "We can use a parallel algorithm to merge all the
+// CTTs", giving O(n log P)). workers <= 0 uses GOMAXPROCS.
+func All(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
+	if len(ctts) == 0 {
+		return nil, fmt.Errorf("merge: no trees")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ms := make([]*Merged, len(ctts))
+	for i, c := range ctts {
+		ms[i] = FromRank(c)
+	}
+	sem := make(chan struct{}, workers)
+	var reduce func(lo, hi int) (*Merged, error)
+	reduce = func(lo, hi int) (*Merged, error) {
+		if hi-lo == 1 {
+			return ms[lo], nil
+		}
+		mid := (lo + hi) / 2
+		var left, right *Merged
+		var lerr, rerr error
+		var wg sync.WaitGroup
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				left, lerr = reduce(lo, mid)
+			}()
+		default:
+			left, lerr = reduce(lo, mid)
+		}
+		right, rerr = reduce(mid, hi)
+		wg.Wait()
+		if lerr != nil {
+			return nil, lerr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		return Pair(left, right)
+	}
+	return reduce(0, len(ms))
+}
+
+// Serial merges without parallelism, for the ablation benchmark.
+func Serial(ctts []*ctt.RankCTT) (*Merged, error) {
+	if len(ctts) == 0 {
+		return nil, fmt.Errorf("merge: no trees")
+	}
+	acc := FromRank(ctts[0])
+	for _, c := range ctts[1:] {
+		var err error
+		acc, err = Pair(acc, FromRank(c))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// GroupCount returns the total number of rank-group entries, a measure of
+// how SPMD-uniform the job was (1 group per executed vertex is ideal).
+func (m *Merged) GroupCount() int {
+	n := 0
+	for _, es := range m.Entries {
+		n += len(es)
+	}
+	return n
+}
+
+// rankView adapts one rank's view of the merged tree to replay.Source.
+type rankView struct {
+	m    *Merged
+	rank int
+}
+
+// ForRank returns a replay source for one rank of the merged tree.
+func (m *Merged) ForRank(rank int) rankView { return rankView{m, rank} }
+
+func (v rankView) data(gid int32) *ctt.VData {
+	for _, e := range v.m.Entries[gid] {
+		if e.Ranks.Contains(v.rank) {
+			return e.Data
+		}
+	}
+	return nil
+}
+
+// Tree implements replay.Source.
+func (v rankView) Tree() *cst.Tree { return v.m.Tree }
+
+// Counts implements replay.Source.
+func (v rankView) Counts(gid int32) *stride.Vector {
+	if d := v.data(gid); d != nil {
+		return &d.Counts
+	}
+	return nil
+}
+
+// Taken implements replay.Source.
+func (v rankView) Taken(gid int32) *stride.Set {
+	if d := v.data(gid); d != nil {
+		return &d.Taken
+	}
+	return nil
+}
+
+// Records implements replay.Source.
+func (v rankView) Records(gid int32) []*ctt.CommRecord {
+	if d := v.data(gid); d != nil {
+		return d.Records
+	}
+	return nil
+}
+
+// Cycles implements replay.Source.
+func (v rankView) Cycles(gid int32) []ctt.Cycle {
+	if d := v.data(gid); d != nil {
+		return d.Cycles
+	}
+	return nil
+}
+
+// statMode guesses the timestat mode from the first record (for encode).
+func (m *Merged) statMode() timestat.Mode {
+	for _, es := range m.Entries {
+		for _, e := range es {
+			for _, r := range e.Data.Records {
+				if r.Time != nil && r.Time.Hist != nil {
+					return timestat.ModeHistogram
+				}
+				return timestat.ModeMeanStddev
+			}
+		}
+	}
+	return timestat.ModeMeanStddev
+}

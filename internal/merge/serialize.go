@@ -1,0 +1,388 @@
+package merge
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/rankset"
+	"repro/internal/stride"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// The merged compressed trace file is CYPRESS's final output (paper:
+// "Compressed Communication Traces"). The format embeds the program CST
+// (stored once per job) followed by varint-packed vertex data entries.
+// EncodeGzip wraps the same stream in gzip, the paper's "Cypress+Gzip"
+// variant.
+
+var fileMagic = [4]byte{'C', 'Y', 'P', 'R'}
+
+const fileVersion = 1
+
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (w *writer) u(x uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], x)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) i(x int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], x)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *writer) f(x float64) { w.u(math.Float64bits(x)) }
+
+func (w *writer) runs(rs []stride.Run) {
+	w.u(uint64(len(rs)))
+	for _, r := range rs {
+		w.i(r.First)
+		w.i(r.Stride)
+		w.u(uint64(r.Count))
+	}
+}
+
+// Encode writes the merged tree to w and returns the byte count.
+func (m *Merged) Encode(out io.Writer) (int64, error) {
+	cw := &countingWriter{w: out}
+	w := &writer{w: bufio.NewWriterSize(cw, 1<<16)}
+	if _, err := cw.Write(fileMagic[:]); err != nil {
+		return 0, err
+	}
+	w.u(fileVersion)
+	w.u(m.TreeHash)
+	w.u(uint64(m.NumRanks))
+	w.u(uint64(m.EventCount))
+	hist := m.statMode() == timestat.ModeHistogram
+	if hist {
+		w.u(1)
+	} else {
+		w.u(0)
+	}
+	// Embed the CST text form, length-prefixed.
+	var treeBuf bytes.Buffer
+	if err := m.Tree.Encode(&treeBuf); err != nil {
+		return 0, err
+	}
+	w.u(uint64(treeBuf.Len()))
+	if w.err == nil {
+		_, w.err = w.w.Write(treeBuf.Bytes())
+	}
+	for gid := range m.Entries {
+		es := m.Entries[gid]
+		w.u(uint64(len(es)))
+		for _, e := range es {
+			w.runs(e.Ranks.Runs())
+			encodeVData(w, e.Data, hist)
+		}
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func encodeVData(w *writer, d *ctt.VData, hist bool) {
+	w.runs(d.Counts.Runs())
+	w.runs(d.Taken.Runs())
+	w.u(uint64(len(d.Cycles)))
+	for _, cy := range d.Cycles {
+		w.u(uint64(cy.Start))
+		w.u(uint64(cy.Len))
+		w.u(uint64(cy.Reps))
+	}
+	w.u(uint64(len(d.Records)))
+	for _, r := range d.Records {
+		flags := uint64(0)
+		if r.Ev.Wildcard {
+			flags |= 1
+		}
+		if r.RelEncoded {
+			flags |= 2
+		}
+		if r.Peers != nil {
+			flags |= 4
+		}
+		w.u(uint64(r.Ev.Op))
+		w.u(flags)
+		w.u(uint64(r.Ev.Size))
+		w.i(int64(r.Ev.Peer))
+		w.i(int64(r.PeerRel))
+		w.u(uint64(r.Ev.Tag))
+		w.u(uint64(r.Ev.Comm))
+		w.u(uint64(r.Count))
+		w.u(uint64(len(r.Ev.Reqs)))
+		for _, q := range r.Ev.Reqs {
+			w.i(int64(q))
+		}
+		if r.Peers != nil {
+			w.u(uint64(len(r.Peers.Period)))
+			for _, off := range r.Peers.Period {
+				w.i(int64(off))
+			}
+		}
+		// Time statistics: moments always, histogram buckets when present.
+		w.u(uint64(r.Time.N))
+		w.f(r.Time.Mean)
+		w.f(r.Time.Stddev())
+		w.f(r.Time.Min)
+		w.f(r.Time.Max)
+		w.f(r.Compute.Mean)
+		if hist {
+			nz := 0
+			for _, h := range r.Time.Hist {
+				if h != 0 {
+					nz++
+				}
+			}
+			w.u(uint64(nz))
+			for i, h := range r.Time.Hist {
+				if h != 0 {
+					w.u(uint64(i))
+					w.u(uint64(h))
+				}
+			}
+		}
+	}
+}
+
+// EncodeGzip writes the gzip-compressed form and returns the byte count.
+func (m *Merged) EncodeGzip(out io.Writer) (int64, error) {
+	cw := &countingWriter{w: out}
+	gz := gzip.NewWriter(cw)
+	if _, err := m.Encode(gz); err != nil {
+		return 0, err
+	}
+	if err := gz.Close(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) i() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) f() float64 { return math.Float64frombits(r.u()) }
+
+func (r *reader) runs() []stride.Run {
+	n := r.u()
+	if r.err != nil || n > 1<<24 {
+		if r.err == nil {
+			r.err = fmt.Errorf("merge: implausible run count %d", n)
+		}
+		return nil
+	}
+	out := make([]stride.Run, n)
+	for i := range out {
+		out[i].First = r.i()
+		out[i].Stride = r.i()
+		out[i].Count = int64(r.u())
+	}
+	return out
+}
+
+// Decode reads a merged tree written by Encode.
+func Decode(in io.Reader) (*Merged, error) {
+	br := bufio.NewReaderSize(in, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("merge: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("merge: bad magic %q", magic)
+	}
+	r := &reader{r: br}
+	if v := r.u(); v != fileVersion {
+		return nil, fmt.Errorf("merge: unsupported version %d", v)
+	}
+	m := &Merged{}
+	m.TreeHash = r.u()
+	m.NumRanks = int(r.u())
+	m.EventCount = int64(r.u())
+	hist := r.u() == 1
+	mode := timestat.ModeMeanStddev
+	if hist {
+		mode = timestat.ModeHistogram
+	}
+	treeLen := r.u()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if treeLen > 1<<28 {
+		return nil, fmt.Errorf("merge: implausible CST length %d", treeLen)
+	}
+	tree, err := cst.Decode(io.LimitReader(br, int64(treeLen)))
+	if err != nil {
+		return nil, fmt.Errorf("merge: embedded CST: %w", err)
+	}
+	m.Tree = tree
+	if got := tree.Hash(); got != m.TreeHash {
+		return nil, fmt.Errorf("merge: CST hash mismatch: header %x vs decoded %x", m.TreeHash, got)
+	}
+	m.Entries = make([][]Entry, tree.NumVertices())
+	for gid := range m.Entries {
+		n := r.u()
+		if r.err != nil {
+			return nil, fmt.Errorf("merge: vertex %d: %w", gid, r.err)
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("merge: vertex %d: implausible entry count %d", gid, n)
+		}
+		for k := uint64(0); k < n; k++ {
+			e := Entry{Ranks: rankset.FromRuns(r.runs()), Data: &ctt.VData{}}
+			decodeVData(r, e.Data, mode)
+			if r.err != nil {
+				return nil, fmt.Errorf("merge: vertex %d entry %d: %w", gid, k, r.err)
+			}
+			m.Entries[gid] = append(m.Entries[gid], e)
+		}
+	}
+	return m, nil
+}
+
+func decodeVData(r *reader, d *ctt.VData, mode timestat.Mode) {
+	for _, run := range r.runs() {
+		d.Counts.AppendRun(run)
+	}
+	for _, run := range r.runs() {
+		d.Taken.AppendRun(run)
+	}
+	nc := r.u()
+	if r.err != nil || nc > 1<<24 {
+		if r.err == nil {
+			r.err = fmt.Errorf("implausible cycle count %d", nc)
+		}
+		return
+	}
+	for j := uint64(0); j < nc; j++ {
+		d.Cycles = append(d.Cycles, ctt.Cycle{
+			Start: int32(r.u()), Len: int32(r.u()), Reps: int64(r.u()),
+		})
+	}
+	n := r.u()
+	if r.err != nil || n > 1<<26 {
+		if r.err == nil {
+			r.err = fmt.Errorf("implausible record count %d", n)
+		}
+		return
+	}
+	for k := uint64(0); k < n; k++ {
+		rec := &ctt.CommRecord{}
+		rec.Ev.Op = trace.Op(r.u())
+		flags := r.u()
+		rec.Ev.Wildcard = flags&1 != 0
+		rec.RelEncoded = flags&2 != 0
+		hasPeers := flags&4 != 0
+		rec.Ev.Size = int(r.u())
+		rec.Ev.Peer = int(r.i())
+		rec.PeerRel = int(r.i())
+		rec.Ev.Tag = int(r.u())
+		rec.Ev.Comm = int(r.u())
+		rec.Count = int64(r.u())
+		rec.Ev.ReqID = -1
+		nq := r.u()
+		if r.err != nil || nq > 1<<24 {
+			if r.err == nil {
+				r.err = fmt.Errorf("implausible req count %d", nq)
+			}
+			return
+		}
+		for j := uint64(0); j < nq; j++ {
+			rec.Ev.Reqs = append(rec.Ev.Reqs, int32(r.i()))
+		}
+		if hasPeers {
+			np := r.u()
+			if r.err != nil || np > 1<<24 {
+				if r.err == nil {
+					r.err = fmt.Errorf("implausible peer period %d", np)
+				}
+				return
+			}
+			period := make([]int32, np)
+			for j := range period {
+				period[j] = int32(r.i())
+			}
+			rec.Peers = &ctt.PeerPattern{Period: period}
+		}
+		st := timestat.New(mode)
+		st.N = int64(r.u())
+		st.Mean = r.f()
+		_ = r.f() // stddev is recomputable only approximately; keep mean/min/max
+		st.Min = r.f()
+		st.Max = r.f()
+		comp := timestat.New(timestat.ModeMeanStddev)
+		comp.N = st.N
+		comp.Mean = r.f()
+		rec.Compute = comp
+		if mode == timestat.ModeHistogram {
+			nz := r.u()
+			if r.err != nil || nz > timestat.HistBuckets {
+				if r.err == nil {
+					r.err = fmt.Errorf("implausible histogram bucket count %d", nz)
+				}
+				return
+			}
+			for j := uint64(0); j < nz; j++ {
+				idx := r.u()
+				cnt := r.u()
+				if idx < timestat.HistBuckets {
+					st.Hist[idx] = uint32(cnt)
+				}
+			}
+		}
+		rec.Time = st
+		d.Records = append(d.Records, rec)
+	}
+}

@@ -1,0 +1,552 @@
+// Package npb generates MPL re-implementations of the communication
+// skeletons of the NAS Parallel Benchmarks (BT, CG, DT, EP, FT, LU, MG, SP)
+// and the LESlie3d CFD application, the workloads of the paper's evaluation
+// (Section VII). Trace compression observes only the communication pattern,
+// so each skeleton reproduces the pattern class of its benchmark:
+//
+//	BT/SP — ADI solvers on a square process grid; face exchanges per
+//	        dimension per iteration. SP additionally varies message sizes
+//	        and tags across stages and iterations, the behavior that makes
+//	        it the hardest case for exact-matching compressors (Fig 15h).
+//	CG   — power-of-two butterfly sum-exchanges plus dot-product
+//	        allreduces.
+//	DT   — a shuffled feeder graph with wildcard receives; few, large
+//	        messages.
+//	EP   — almost no communication: final statistics reductions.
+//	FT   — iterated all-to-all transposes.
+//	LU   — SSOR wavefront pipelining: many small messages per plane, both
+//	        sweep directions.
+//	MG   — V-cycle multigrid: level-dependent halo exchanges where coarse
+//	        levels involve only a shrinking subset of ranks (the "nested 3D
+//	        torus" irregularity of Fig 17a).
+//	LESlie3d — 3D stencil halo exchange with exactly two message sizes
+//	        (43KB/83KB per the paper's Section VII-D) and strong locality.
+//
+// Sources are generated per process count: grid dimensions are computed here
+// and embedded as literals, exactly as the benchmarks' compile-time
+// parameterization does.
+package npb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects problem duration. Small keeps unit tests fast; Paper
+// approximates the relative event volumes of the paper's CLASS D runs.
+type Scale int
+
+const (
+	Small Scale = iota
+	Paper
+)
+
+// Workload describes one benchmark skeleton.
+type Workload struct {
+	Name string
+	// Procs are the process counts used in the paper's figures.
+	Procs []int
+	// Source generates the MPL program for n ranks.
+	Source func(n int, s Scale) string
+	// ValidProcs reports whether the skeleton supports n ranks.
+	ValidProcs func(n int) bool
+}
+
+// All returns the workload registry in the paper's figure order.
+func All() []*Workload {
+	return []*Workload{BT(), CG(), DT(), EP(), FT(), LU(), MG(), SP(), Leslie3d()}
+}
+
+// Get returns a workload by (case-insensitive) name, or nil.
+func Get(name string) *Workload {
+	for _, w := range All() {
+		if strings.EqualFold(w.Name, name) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Names lists the registry names.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func iters(s Scale, small, paper int) int {
+	if s == Paper {
+		return paper
+	}
+	return small
+}
+
+// isqrt returns floor(sqrt(n)).
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func isSquare(n int) bool { s := isqrt(n); return s*s == n }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// grid2 factors n into the most-square px*py with px >= py.
+func grid2(n int) (px, py int) {
+	py = isqrt(n)
+	for n%py != 0 {
+		py--
+	}
+	return n / py, py
+}
+
+// grid3 factors n into a near-cubic px*py*pz.
+func grid3(n int) (px, py, pz int) {
+	pz = 1
+	for d := 2; d*d*d <= n; d++ {
+		if n%d == 0 {
+			pz = d
+		}
+	}
+	for n%pz != 0 {
+		pz--
+	}
+	px, py = grid2(n / pz)
+	return px, py, pz
+}
+
+// BT returns the block-tridiagonal ADI solver skeleton.
+func BT() *Workload {
+	return &Workload{
+		Name:       "BT",
+		Procs:      []int{64, 121, 256, 400},
+		ValidProcs: isSquare,
+		Source: func(n int, s Scale) string {
+			px := isqrt(n)
+			it := iters(s, 6, 60)
+			// Face sizes: CLASS-D-ish cells shrink with the grid.
+			face := 408 * 1024 / px
+			return fmt.Sprintf(`
+// NPB BT communication skeleton: %dx%d process grid.
+func main() {
+	var px = %d;
+	var row = rank / px;
+	var col = rank %% px;
+	for var it = 0; it < %d; it = it + 1 {
+		copyfaces(row, col, px, %d);
+		solve(row, col, px, %d, 1);
+		solve(row, col, px, %d, 2);
+		solve(row, col, px, %d, 3);
+		compute(600000);
+	}
+	allreduce(40);
+}
+func copyfaces(row, col, px, bytes) {
+	// Exchange all four faces with non-blocking pairs.
+	if col < px - 1 { isend(row * px + col + 1, bytes, 10); }
+	if col > 0 { isend(row * px + col - 1, bytes, 11); }
+	if row < px - 1 { isend((row + 1) * px + col, bytes, 12); }
+	if row > 0 { isend((row - 1) * px + col, bytes, 13); }
+	if col > 0 { irecv(row * px + col - 1, bytes, 10); }
+	if col < px - 1 { irecv(row * px + col + 1, bytes, 11); }
+	if row > 0 { irecv((row - 1) * px + col, bytes, 12); }
+	if row < px - 1 { irecv((row + 1) * px + col, bytes, 13); }
+	waitall();
+}
+func solve(row, col, px, bytes, dim) {
+	// ADI line sweep: forward substitution down the grid dimension, then
+	// back substitution up it.
+	var tag = 20 + dim;
+	if dim == 1 {
+		if col > 0 { recv(row * px + col - 1, bytes, tag); }
+		compute(120000);
+		if col < px - 1 { send(row * px + col + 1, bytes, tag); }
+		if col < px - 1 { recv(row * px + col + 1, bytes, tag + 10); }
+		compute(120000);
+		if col > 0 { send(row * px + col - 1, bytes, tag + 10); }
+	} else {
+		if row > 0 { recv((row - 1) * px + col, bytes, tag); }
+		compute(120000);
+		if row < px - 1 { send((row + 1) * px + col, bytes, tag); }
+		if row < px - 1 { recv((row + 1) * px + col, bytes, tag + 10); }
+		compute(120000);
+		if row > 0 { send((row - 1) * px + col, bytes, tag + 10); }
+	}
+}
+`, px, px, px, it, face, face/2, face/2, face/2)
+		},
+	}
+}
+
+// CG returns the conjugate-gradient skeleton.
+func CG() *Workload {
+	return &Workload{
+		Name:       "CG",
+		Procs:      []int{64, 128, 256, 512},
+		ValidProcs: isPow2,
+		Source: func(n int, s Scale) string {
+			it := iters(s, 5, 75)
+			bytes := 600 * 1024 / n * 8
+			if bytes < 64 {
+				bytes = 64
+			}
+			return fmt.Sprintf(`
+// NPB CG communication skeleton: butterfly sum-exchange + dot products.
+func main() {
+	for var it = 0; it < %d; it = it + 1 {
+		// Sparse matrix-vector product: hypercube transpose exchange.
+		var l = 1;
+		while l < size {
+			var partner = rank + l;
+			if (rank / l) %% 2 == 1 { partner = rank - l; }
+			var r = irecv(partner, %d, 30);
+			send(partner, %d, 30);
+			wait(r);
+			compute(90000);
+			l = l * 2;
+		}
+		// Two dot products per iteration.
+		allreduce(8);
+		allreduce(8);
+		compute(250000);
+	}
+	allreduce(8);
+}
+`, it, bytes, bytes)
+		},
+	}
+}
+
+// DT returns the data-traffic graph skeleton.
+func DT() *Workload {
+	return &Workload{
+		Name:       "DT",
+		Procs:      []int{48, 64, 128, 256},
+		ValidProcs: func(n int) bool { return n >= 4 && n%2 == 0 && (n/2)%7 != 0 },
+		Source: func(n int, s Scale) string {
+			msg := 2 * 1024 * 1024
+			if s == Small {
+				msg = 64 * 1024
+			}
+			return fmt.Sprintf(`
+// NPB DT communication skeleton: shuffled feeder graph, wildcard consumers.
+func main() {
+	var half = size / 2;
+	if rank < half {
+		// Source nodes: generate data, feed a shuffled consumer.
+		compute(2000000);
+		send(half + (rank * 7 + 3) %% half, %d, 40);
+	} else {
+		// Consumer nodes: the producer is not known statically.
+		recv(ANY, %d, 40);
+		compute(1500000);
+	}
+	reduce(0, 8);
+}
+`, msg, msg)
+		},
+	}
+}
+
+// EP returns the embarrassingly-parallel skeleton.
+func EP() *Workload {
+	return &Workload{
+		Name:       "EP",
+		Procs:      []int{64, 128, 256, 512},
+		ValidProcs: func(n int) bool { return n >= 2 },
+		Source: func(n int, s Scale) string {
+			comp := iters(s, 2, 20)
+			return fmt.Sprintf(`
+// NPB EP communication skeleton: pure computation, final reductions.
+func main() {
+	for var b = 0; b < %d; b = b + 1 {
+		compute(5000000);
+	}
+	// Gaussian pair counts and sums.
+	allreduce(8);
+	allreduce(16);
+	allreduce(80);
+}
+`, comp)
+		},
+	}
+}
+
+// FT returns the 3D FFT skeleton.
+func FT() *Workload {
+	return &Workload{
+		Name:       "FT",
+		Procs:      []int{64, 128, 256, 512},
+		ValidProcs: isPow2,
+		Source: func(n int, s Scale) string {
+			it := iters(s, 4, 25)
+			bytes := 1 << 30 / (n * n) * 16
+			if bytes < 256 {
+				bytes = 256
+			}
+			return fmt.Sprintf(`
+// NPB FT communication skeleton: iterated all-to-all transposes.
+func main() {
+	alltoall(%d);
+	for var it = 0; it < %d; it = it + 1 {
+		compute(1200000);
+		alltoall(%d);
+		allreduce(16);
+	}
+}
+`, bytes, it, bytes)
+		},
+	}
+}
+
+// LU returns the SSOR wavefront skeleton.
+func LU() *Workload {
+	return &Workload{
+		Name:       "LU",
+		Procs:      []int{64, 128, 256, 512},
+		ValidProcs: func(n int) bool { return n >= 4 },
+		Source: func(n int, s Scale) string {
+			px, py := grid2(n)
+			planes := iters(s, 8, 48)
+			it := iters(s, 4, 40)
+			small := 10 * 1024 / px * 8
+			if small < 40 {
+				small = 40
+			}
+			return fmt.Sprintf(`
+// NPB LU communication skeleton: %dx%d grid, pipelined wavefront sweeps.
+func main() {
+	var px = %d;
+	var py = %d;
+	var row = rank / px;
+	var col = rank %% px;
+	for var it = 0; it < %d; it = it + 1 {
+		// Lower-triangular sweep: wavefront from (0,0).
+		for var k = 0; k < %d; k = k + 1 {
+			if row > 0 { recv((row - 1) * px + col, %d, 50); }
+			if col > 0 { recv(row * px + col - 1, %d, 51); }
+			compute(15000);
+			if row < py - 1 { send((row + 1) * px + col, %d, 50); }
+			if col < px - 1 { send(row * px + col + 1, %d, 51); }
+		}
+		// Upper-triangular sweep: wavefront from (py-1, px-1).
+		for var k = 0; k < %d; k = k + 1 {
+			if row < py - 1 { recv((row + 1) * px + col, %d, 52); }
+			if col < px - 1 { recv(row * px + col + 1, %d, 53); }
+			compute(15000);
+			if row > 0 { send((row - 1) * px + col, %d, 52); }
+			if col > 0 { send(row * px + col - 1, %d, 53); }
+		}
+		// Residual norm every iteration.
+		allreduce(40);
+	}
+}
+`, px, py, px, py, it, planes, small, small, small, small,
+				planes, small, small, small, small)
+		},
+	}
+}
+
+// MG returns the V-cycle multigrid skeleton.
+func MG() *Workload {
+	return &Workload{
+		Name:       "MG",
+		Procs:      []int{64, 128, 256, 512},
+		ValidProcs: isPow2,
+		Source: func(n int, s Scale) string {
+			levels := 0
+			for 1<<levels < n {
+				levels++
+			}
+			it := iters(s, 3, 25)
+			base := 128 * 1024
+			if s == Small {
+				base = 8 * 1024
+			}
+			return fmt.Sprintf(`
+// NPB MG communication skeleton: V-cycles over %d levels; coarse levels
+// involve only every 2^l-th rank, producing the irregular nested pattern.
+func main() {
+	for var it = 0; it < %d; it = it + 1 {
+		// Downward: restrict to coarser grids.
+		for var l = 0; l < %d; l = l + 1 {
+			var step = 1;
+			for var x = 0; x < l; x = x + 1 { step = step * 2; }
+			if rank %% step == 0 {
+				halo(step, %d / (l + 1));
+				// Dying ranks hand off to the survivor below them.
+				if rank %% (step * 2) != 0 {
+					send(rank - step, %d / (l + 1), 61);
+				} else {
+					if rank + step < size {
+						recv(rank + step, %d / (l + 1), 61);
+					}
+				}
+			}
+			compute(40000);
+		}
+		// Upward: prolongate back to finer grids.
+		for var u = 0; u < %d; u = u + 1 {
+			var l = %d - 1 - u;
+			var step = 1;
+			for var x = 0; x < l; x = x + 1 { step = step * 2; }
+			if rank %% step == 0 {
+				if rank %% (step * 2) != 0 {
+					recv(rank - step, %d / (l + 2), 62);
+				} else {
+					if rank + step < size {
+						send(rank + step, %d / (l + 2), 62);
+					}
+				}
+				halo(step, %d / (l + 1));
+			}
+			compute(40000);
+		}
+		// Convergence check.
+		allreduce(8);
+	}
+}
+func halo(step, bytes) {
+	// Exchange with active neighbors at this level.
+	if rank + step < size {
+		isend(rank + step, bytes, 60);
+	}
+	if rank - step >= 0 {
+		isend(rank - step, bytes, 60);
+	}
+	if rank - step >= 0 {
+		irecv(rank - step, bytes, 60);
+	}
+	if rank + step < size {
+		irecv(rank + step, bytes, 60);
+	}
+	waitall();
+}
+`, levels, it, levels, base, base, base, levels, levels, base, base, base)
+		},
+	}
+}
+
+// SP returns the scalar-pentadiagonal ADI skeleton.
+func SP() *Workload {
+	return &Workload{
+		Name:       "SP",
+		Procs:      []int{64, 121, 256, 400},
+		ValidProcs: isSquare,
+		Source: func(n int, s Scale) string {
+			px := isqrt(n)
+			it := iters(s, 6, 100)
+			face := 300 * 1024 / px
+			return fmt.Sprintf(`
+// NPB SP communication skeleton: %dx%d grid. Cell counts are distributed
+// with remainders, so message sizes and tags vary per process (paper
+// Section VII-B: "the message sizes and the message tags of sending and
+// receiving communications are varied for each process") — the non-uniform
+// pattern that makes SP the hardest compression target (Fig 15h).
+func main() {
+	var px = %d;
+	var row = rank / px;
+	var col = rank %% px;
+	for var it = 0; it < %d; it = it + 1 {
+		faces(row, col, px);
+		for var stage = 0; stage < 3; stage = stage + 1 {
+			if stage %% 2 == 0 {
+				// X-direction line solve: sizes/tags follow the owning
+				// column's cell counts.
+				if col > 0 { recv(row * px + col - 1, xsz(row, col - 1) / 3 + stage * 64, xtag(row, col - 1) + 20); }
+				compute(80000);
+				if col < px - 1 { send(row * px + col + 1, xsz(row, col) / 3 + stage * 64, xtag(row, col) + 20); }
+			} else {
+				if row > 0 { recv((row - 1) * px + col, ysz(row - 1, col) / 3 + stage * 64, xtag(row - 1, col) + 40); }
+				compute(80000);
+				if row < px - 1 { send((row + 1) * px + col, ysz(row, col) / 3 + stage * 64, xtag(row, col) + 40); }
+			}
+		}
+		compute(300000);
+	}
+	allreduce(40);
+}
+// Per-process face sizes: the non-uniform decomposition leaves each column
+// and row class with different cell counts.
+func xsz(row, col) { return %d + col * 24 + (row %% 3) * 512; }
+func ysz(row, col) { return %d + row * 24 + (col %% 3) * 512; }
+// Per-process tags: keyed by the sending process's grid position.
+func xtag(row, col) { return 70 + (col * 5 + row * 3) %% 11; }
+func faces(row, col, px) {
+	if col < px - 1 { isend(row * px + col + 1, xsz(row, col), xtag(row, col)); }
+	if col > 0 { irecv(row * px + col - 1, xsz(row, col - 1), xtag(row, col - 1)); }
+	if col > 0 { isend(row * px + col - 1, xsz(row, col), xtag(row, col) + 5); }
+	if col < px - 1 { irecv(row * px + col + 1, xsz(row, col + 1), xtag(row, col + 1) + 5); }
+	if row < px - 1 { isend((row + 1) * px + col, ysz(row, col), xtag(row, col) + 10); }
+	if row > 0 { irecv((row - 1) * px + col, ysz(row - 1, col), xtag(row - 1, col) + 10); }
+	if row > 0 { isend((row - 1) * px + col, ysz(row, col), xtag(row, col) + 15); }
+	if row < px - 1 { irecv((row + 1) * px + col, ysz(row + 1, col), xtag(row + 1, col) + 15); }
+	waitall();
+}
+`, px, px, px, it, face, face)
+		},
+	}
+}
+
+// Leslie3d returns the LESlie3d CFD skeleton.
+func Leslie3d() *Workload {
+	return &Workload{
+		Name:       "LESlie3d",
+		Procs:      []int{32, 64, 128, 256, 512},
+		ValidProcs: func(n int) bool { return n >= 8 && n%2 == 0 },
+		Source: func(n int, s Scale) string {
+			px, py, pz := grid3(n)
+			it := iters(s, 5, 60)
+			// Exactly two halo sizes, as the paper observes (43KB and 83KB).
+			small := 43 * 1024
+			big := 83 * 1024
+			return fmt.Sprintf(`
+// LESlie3d communication skeleton: %dx%dx%d grid, 3D halo exchange with two
+// message sizes and strong communication locality.
+func main() {
+	var px = %d;
+	var py = %d;
+	var x = rank %% px;
+	var y = (rank / px) %% py;
+	var z = rank / (px * py);
+	var pz = %d;
+	for var it = 0; it < %d; it = it + 1 {
+		// X-direction: big faces.
+		if x < px - 1 { isend(rank + 1, %d, 80); }
+		if x > 0 { isend(rank - 1, %d, 80); }
+		if x > 0 { irecv(rank - 1, %d, 80); }
+		if x < px - 1 { irecv(rank + 1, %d, 80); }
+		waitall();
+		// Y-direction: small faces.
+		if y < py - 1 { isend(rank + px, %d, 81); }
+		if y > 0 { isend(rank - px, %d, 81); }
+		if y > 0 { irecv(rank - px, %d, 81); }
+		if y < py - 1 { irecv(rank + px, %d, 81); }
+		waitall();
+		// Z-direction: small faces.
+		if z < pz - 1 { isend(rank + px * py, %d, 82); }
+		if z > 0 { isend(rank - px * py, %d, 82); }
+		if z > 0 { irecv(rank - px * py, %d, 82); }
+		if z < pz - 1 { irecv(rank + px * py, %d, 82); }
+		waitall();
+		// Strong scaling: the fixed global grid leaves each rank 1/P of the
+		// computation (the paper runs a fixed 193^3 problem at every P).
+		compute(80000000 / size);
+		// Time-step stability reduction.
+		allreduce(8);
+	}
+}
+`, px, py, pz, px, py, pz, it,
+				big, big, big, big,
+				small, small, small, small,
+				small, small, small, small)
+		},
+	}
+}

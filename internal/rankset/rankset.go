@@ -1,0 +1,118 @@
+// Package rankset provides stride-compressed sets of MPI process ranks.
+//
+// After inter-process merging, every vertex-data entry in the merged
+// compressed trace tree is annotated with the set of ranks sharing that data
+// (paper Figure 13: "<p0,p1: k>"). SPMD programs make these sets dense ranges
+// like 1..P-2, so the stride encoding keeps them O(1) regardless of P.
+package rankset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stride"
+)
+
+// Set is an immutable-after-build set of ranks. Ranks must be added in
+// strictly increasing order (Union handles the general case).
+type Set struct {
+	s stride.Set
+}
+
+// Single returns the set {r}.
+func Single(r int) *Set {
+	var s Set
+	s.s.Add(int64(r))
+	return &s
+}
+
+// Range returns the set {lo, lo+1, ..., hi}. It panics when hi < lo.
+func Range(lo, hi int) *Set {
+	if hi < lo {
+		panic(fmt.Sprintf("rankset: invalid range [%d,%d]", lo, hi))
+	}
+	var s Set
+	s.s.AppendRun(stride.Run{First: int64(lo), Stride: 1, Count: int64(hi-lo) + 1})
+	return &s
+}
+
+// FromSorted builds a set from a strictly increasing slice of ranks.
+func FromSorted(ranks []int) *Set {
+	var s Set
+	for _, r := range ranks {
+		s.s.Add(int64(r))
+	}
+	return &s
+}
+
+// Len returns the number of ranks in the set.
+func (s *Set) Len() int { return int(s.s.Len()) }
+
+// Contains reports whether rank r is a member.
+func (s *Set) Contains(r int) bool { return s.s.Contains(int64(r)) }
+
+// Members materializes the set in increasing order.
+func (s *Set) Members() []int {
+	vals := s.s.Values()
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Min returns the smallest member. It panics on an empty set.
+func (s *Set) Min() int {
+	if s.s.Len() == 0 {
+		panic("rankset: Min of empty set")
+	}
+	return int(s.s.Runs()[0].First)
+}
+
+// Union returns the union of two sets. Members are merged and re-encoded; the
+// operands are unchanged. Inputs are disjoint in the merge algorithm, but
+// Union tolerates overlap for robustness.
+func Union(a, b *Set) *Set {
+	am, bm := a.Members(), b.Members()
+	all := make([]int, 0, len(am)+len(bm))
+	all = append(all, am...)
+	all = append(all, bm...)
+	sort.Ints(all)
+	var out Set
+	prev := -1 << 62
+	for _, r := range all {
+		if r == prev {
+			continue
+		}
+		out.s.Add(int64(r))
+		prev = r
+	}
+	return &out
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool { return s.s.Equal(&o.s.Vector) }
+
+// Runs exposes the underlying stride runs for serialization.
+func (s *Set) Runs() []stride.Run { return s.s.Runs() }
+
+// FromRuns rebuilds a set from serialized runs.
+func FromRuns(runs []stride.Run) *Set {
+	var s Set
+	for _, r := range runs {
+		s.s.AppendRun(r)
+	}
+	return &s
+}
+
+// SizeBytes estimates the serialized footprint.
+func (s *Set) SizeBytes() int64 { return s.s.SizeBytes() }
+
+// String renders the set, e.g. "ranks<1,30,1>" or "ranks{0}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("ranks")
+	b.WriteString(s.s.String())
+	return b.String()
+}

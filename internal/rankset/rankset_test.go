@@ -1,0 +1,153 @@
+package rankset
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingle(t *testing.T) {
+	s := Single(5)
+	if s.Len() != 1 || !s.Contains(5) || s.Contains(4) {
+		t.Fatalf("Single(5) misbehaves: %v", s)
+	}
+	if s.Min() != 5 {
+		t.Fatalf("Min = %d", s.Min())
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(1, 30)
+	if s.Len() != 30 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for r := 1; r <= 30; r++ {
+		if !s.Contains(r) {
+			t.Fatalf("missing %d", r)
+		}
+	}
+	if s.Contains(0) || s.Contains(31) {
+		t.Fatal("contains out-of-range rank")
+	}
+	// Dense ranges must be a single run regardless of size.
+	if len(s.Runs()) != 1 {
+		t.Fatalf("runs = %d", len(s.Runs()))
+	}
+}
+
+func TestRangeInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Range(3, 2)
+}
+
+func TestUnionAdjacent(t *testing.T) {
+	// Jacobi merge (paper Fig 4/13): {0} ∪ {1..P-2} ∪ {P-1} = {0..P-1}.
+	p := 64
+	u := Union(Union(Single(0), Range(1, p-2)), Single(p-1))
+	if u.Len() != p {
+		t.Fatalf("Len = %d, want %d", u.Len(), p)
+	}
+	if len(u.Runs()) != 1 {
+		t.Fatalf("full range should be one run, got %d", len(u.Runs()))
+	}
+}
+
+func TestUnionOverlapTolerated(t *testing.T) {
+	u := Union(Range(0, 10), Range(5, 15))
+	if u.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", u.Len())
+	}
+}
+
+func TestEqualAndMembers(t *testing.T) {
+	a := FromSorted([]int{0, 2, 4, 6})
+	b := FromSorted([]int{0, 2, 4, 6})
+	c := FromSorted([]int{0, 2, 4, 7})
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal wrong")
+	}
+	if !reflect.DeepEqual(a.Members(), []int{0, 2, 4, 6}) {
+		t.Fatalf("Members = %v", a.Members())
+	}
+}
+
+func TestFromRunsRoundTrip(t *testing.T) {
+	a := FromSorted([]int{1, 3, 5, 7, 20, 21, 22})
+	b := FromRuns(a.Runs())
+	if !a.Equal(b) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Range(1, 30).String(); got != "ranks[<1,30,1>]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestQuickUnionMatchesNaive(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		ax, ay := dedupSorted(xs), dedupSorted(ys)
+		if len(ax) == 0 || len(ay) == 0 {
+			return true
+		}
+		u := Union(FromSorted(ax), FromSorted(ay))
+		want := map[int]bool{}
+		for _, x := range ax {
+			want[x] = true
+		}
+		for _, y := range ay {
+			want[y] = true
+		}
+		if u.Len() != len(want) {
+			return false
+		}
+		for r := range want {
+			if !u.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dedupSorted(xs []uint8) []int {
+	m := map[int]bool{}
+	for _, x := range xs {
+		m[int(x)] = true
+	}
+	out := make([]int, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestEvenOddSplit(t *testing.T) {
+	// SPMD even/odd branch split compresses to strided sets.
+	even := []int{}
+	odd := []int{}
+	for r := 0; r < 128; r++ {
+		if r%2 == 0 {
+			even = append(even, r)
+		} else {
+			odd = append(odd, r)
+		}
+	}
+	e, o := FromSorted(even), FromSorted(odd)
+	if len(e.Runs()) != 1 || len(o.Runs()) != 1 {
+		t.Fatalf("even/odd sets should be single strided runs: %d %d", len(e.Runs()), len(o.Runs()))
+	}
+	if e.SizeBytes() != 24 {
+		t.Fatalf("SizeBytes = %d", e.SizeBytes())
+	}
+}

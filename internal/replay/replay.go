@@ -1,0 +1,267 @@
+// Package replay decompresses CYPRESS trace trees back into per-rank event
+// sequences (paper Section V): a pre-order traversal of the CTT that expands
+// loop vertices by their recorded iteration counts, selects branch arms by
+// their recorded taken indices, and prints the run-length records of comm
+// leaves. The regenerated sequence is what trace-driven simulators consume.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/stride"
+	"repro/internal/trace"
+)
+
+// Source provides one rank's view of a compressed trace tree. Both the
+// per-rank ctt.RankCTT and the post-merge tree implement it.
+type Source interface {
+	Tree() *cst.Tree
+	// Counts returns the loop/pseudo-loop activation counts for a vertex,
+	// nil when the rank never executed it.
+	Counts(gid int32) *stride.Vector
+	// Taken returns the branch-arm taken set, nil when never taken.
+	Taken(gid int32) *stride.Set
+	// Records returns the comm-leaf records, nil when never executed.
+	Records(gid int32) []*ctt.CommRecord
+	// Cycles returns the record-cycle annotations for a leaf.
+	Cycles(gid int32) []ctt.Cycle
+}
+
+// RankSource adapts a per-rank CTT to the Source interface.
+type RankSource struct {
+	C *ctt.RankCTT
+}
+
+// Tree implements Source.
+func (s RankSource) Tree() *cst.Tree { return s.C.Tree }
+
+// Counts implements Source.
+func (s RankSource) Counts(gid int32) *stride.Vector { return &s.C.Data[gid].Counts }
+
+// Taken implements Source.
+func (s RankSource) Taken(gid int32) *stride.Set { return &s.C.Data[gid].Taken }
+
+// Records implements Source.
+func (s RankSource) Records(gid int32) []*ctt.CommRecord { return s.C.Data[gid].Records }
+
+// Cycles implements Source.
+func (s RankSource) Cycles(gid int32) []ctt.Cycle { return s.C.Data[gid].Cycles }
+
+// Events decompresses rank's event sequence, invoking emit for each event in
+// original program order. Recursion (pseudo-loop) replay is approximate, as
+// in the paper: levels replay sequentially rather than interleaved.
+func Events(src Source, rank int, emit func(e *trace.Event)) error {
+	r := &replayer{
+		src:   src,
+		rank:  rank,
+		emit:  emit,
+		rec:   map[int32]*recCursor{},
+		act:   map[int32]int64{},
+		reach: map[reachKey]int64{},
+	}
+	tree := src.Tree()
+	// MPI_Init lives first on the root's record list, MPI_Finalize second.
+	if err := r.emitLeaf(tree.Root); err != nil {
+		return err
+	}
+	if _, err := r.walkBody(tree.Root); err != nil {
+		return err
+	}
+	if err := r.emitLeaf(tree.Root); err != nil {
+		return err
+	}
+	return nil
+}
+
+type reachKey struct {
+	parent int32
+	site   int32
+}
+
+type recCursor struct {
+	idx      int
+	consumed int64
+	rep      int64 // completed repetitions of the active record cycle
+}
+
+type replayer struct {
+	src   Source
+	rank  int
+	emit  func(*trace.Event)
+	rec   map[int32]*recCursor
+	act   map[int32]int64 // next activation index per loop vertex
+	reach map[reachKey]int64
+}
+
+func (r *replayer) emitLeaf(v *cst.Vertex) error {
+	records := r.src.Records(v.GID)
+	cur := r.rec[v.GID]
+	if cur == nil {
+		cur = &recCursor{}
+		r.rec[v.GID] = cur
+	}
+	if cur.idx >= len(records) {
+		return fmt.Errorf("replay: rank %d: leaf %d (%v) out of records", r.rank, v.GID, v.Op)
+	}
+	rec := records[cur.idx]
+	ev := rec.Ev
+	ev.Peer = rec.PeerForAt(r.rank, cur.consumed)
+	ev.DurationNS = rec.Time.Mean
+	ev.ComputeNS = rec.Compute.Mean
+	r.emit(&ev)
+	cur.consumed++
+	if cur.consumed >= rec.Count {
+		cur.idx++
+		cur.consumed = 0
+		// Record cycles: after the block's last record, loop back to its
+		// start until the repetitions are exhausted.
+		for _, cy := range r.src.Cycles(v.GID) {
+			if int32(cur.idx) == cy.Start+cy.Len {
+				cur.rep++
+				if cur.rep < cy.Reps {
+					cur.idx = int(cy.Start)
+				} else {
+					cur.rep = 0
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// nextActivation consumes the next activation count for a loop vertex.
+func (r *replayer) nextActivation(v *cst.Vertex) (int64, error) {
+	counts := r.src.Counts(v.GID)
+	idx := r.act[v.GID]
+	if counts == nil || idx >= counts.Len() {
+		return 0, fmt.Errorf("replay: rank %d: loop %d out of activations", r.rank, v.GID)
+	}
+	r.act[v.GID] = idx + 1
+	return counts.At(idx), nil
+}
+
+// walkBody replays the children of v once; it reports whether execution
+// unwound through an early return.
+func (r *replayer) walkBody(v *cst.Vertex) (bool, error) {
+	children := v.Children
+	for i := 0; i < len(children); {
+		c := children[i]
+		switch c.Kind {
+		case cst.KindComm:
+			if err := r.emitLeaf(c); err != nil {
+				return false, err
+			}
+			i++
+		case cst.KindLoop:
+			n, err := r.nextActivation(c)
+			if err != nil {
+				return false, err
+			}
+			for k := int64(0); k < n; k++ {
+				ret, err := r.walkBody(c)
+				if err != nil {
+					return false, err
+				}
+				if ret {
+					return true, nil
+				}
+			}
+			if c.Returns && n >= 1 {
+				// The loop body ends in an unconditional return; having
+				// iterated at least once means the function exited here.
+				return true, nil
+			}
+			i++
+		case cst.KindBranch:
+			// Group the consecutive arms of this if site.
+			j := i
+			for j < len(children) && children[j].Kind == cst.KindBranch && children[j].Site == c.Site {
+				j++
+			}
+			key := reachKey{v.GID, int32(c.Site)}
+			idx := r.reach[key]
+			r.reach[key] = idx + 1
+			for _, arm := range children[i:j] {
+				taken := r.src.Taken(arm.GID)
+				if taken != nil && taken.Contains(idx) {
+					ret, err := r.walkBody(arm)
+					if err != nil {
+						return false, err
+					}
+					if ret || arm.Returns {
+						return true, nil
+					}
+					break
+				}
+			}
+			i = j
+		case cst.KindCall:
+			if c.Recursive {
+				levels, err := r.nextActivation(c)
+				if err != nil {
+					return false, err
+				}
+				for k := int64(0); k < levels; k++ {
+					// Each recursion level replays one pass of the unrolled
+					// body; early returns end the level, not the caller.
+					if _, err := r.walkBody(c); err != nil {
+						return false, err
+					}
+				}
+			} else {
+				// A non-recursive call's return never unwinds the caller.
+				if _, err := r.walkBody(c); err != nil {
+					return false, err
+				}
+			}
+			i++
+		case cst.KindRecCall:
+			// Recursion loop-backs were already accounted for in the
+			// pseudo-loop's level count.
+			i++
+		default:
+			return false, fmt.Errorf("replay: unexpected vertex kind %v", c.Kind)
+		}
+	}
+	return false, nil
+}
+
+// Sequence materializes the full decompressed event list for one rank.
+func Sequence(src Source, rank int) ([]trace.Event, error) {
+	var out []trace.Event
+	err := Events(src, rank, func(e *trace.Event) {
+		out = append(out, *e)
+	})
+	return out, err
+}
+
+// Equivalent compares a raw traced sequence against a decompressed one,
+// ignoring the representational differences compression introduces: request
+// identifiers are rewritten to GIDs (list lengths must still match), timing
+// is summarized, completion records drop per-request resolved sources, and
+// non-blocking wildcard receives carry the resolved source instead of
+// AnySource. Everything else must match exactly, in order.
+func Equivalent(raw, replayed []trace.Event) error {
+	if len(raw) != len(replayed) {
+		return fmt.Errorf("replay: length mismatch: raw %d vs replayed %d", len(raw), len(replayed))
+	}
+	for i := range raw {
+		a, b := raw[i], replayed[i]
+		if a.Op != b.Op || a.Size != b.Size || a.Tag != b.Tag || a.Comm != b.Comm ||
+			a.Wildcard != b.Wildcard || len(a.Reqs) != len(b.Reqs) {
+			return fmt.Errorf("replay: event %d mismatch: raw %v vs replayed %v", i, a, b)
+		}
+		peerOK := a.Peer == b.Peer
+		if a.Op == trace.OpIrecv && a.Wildcard {
+			// Raw has AnySource; replayed has the resolved source.
+			peerOK = b.Peer != trace.AnySource
+		}
+		if !peerOK {
+			return fmt.Errorf("replay: event %d peer mismatch: raw %v vs replayed %v", i, a, b)
+		}
+	}
+	return nil
+}

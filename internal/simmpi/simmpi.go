@@ -1,0 +1,267 @@
+// Package simmpi is a trace-driven LogGP performance simulator, the stand-in
+// for SIM-MPI in the paper's Section V / Figure 14 pipeline: decompressed
+// CYPRESS traces (communication sequence + per-record sequential computation
+// time) plus network parameters yield a predicted execution time.
+//
+// The simulator is a sequential discrete-event engine: each rank advances a
+// local clock through its event sequence; point-to-point completions couple
+// to the matching sender's injection time plus latency, and collectives
+// synchronize all ranks with the binomial-tree cost model shared with the
+// mpisim runtime.
+package simmpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// Result is the simulation outcome.
+type Result struct {
+	// TotalNS is the predicted job execution time (max over ranks).
+	TotalNS float64
+	// PerRankNS is each rank's final clock.
+	PerRankNS []float64
+	// CommNS is each rank's accumulated communication time.
+	CommNS []float64
+	// ComputeNS is each rank's accumulated computation time.
+	ComputeNS []float64
+}
+
+// CommFraction returns the job-wide communication time share.
+func (r Result) CommFraction() float64 {
+	var comm, tot float64
+	for i := range r.PerRankNS {
+		comm += r.CommNS[i]
+		tot += r.PerRankNS[i]
+	}
+	if tot == 0 {
+		return 0
+	}
+	return comm / tot
+}
+
+type msgKey struct {
+	src, dst, tag int
+}
+
+type pendingRecv struct {
+	gid  int32
+	peer int
+	tag  int
+	size int
+}
+
+type simRank struct {
+	events  []trace.Event
+	idx     int
+	clock   float64
+	comm    float64
+	compute float64
+	pending []pendingRecv
+	collIdx int
+	inColl  bool
+}
+
+type collGroup struct {
+	op      trace.Op
+	size    int
+	arrived int
+	maxT    float64
+	done    bool
+	finish  float64
+}
+
+// Simulate predicts execution for the given per-rank event sequences.
+func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
+	n := len(seqs)
+	if n == 0 {
+		return Result{}, fmt.Errorf("simmpi: no ranks")
+	}
+	ranks := make([]simRank, n)
+	for i := range ranks {
+		ranks[i].events = seqs[i]
+	}
+	queues := map[msgKey][]float64{}
+	var colls []*collGroup
+
+	coll := func(idx int) *collGroup {
+		for len(colls) <= idx {
+			colls = append(colls, &collGroup{})
+		}
+		return colls[idx]
+	}
+
+	remaining := n
+	for remaining > 0 {
+		progressed := false
+		for rid := range ranks {
+			r := &ranks[rid]
+			for r.idx < len(r.events) {
+				e := &r.events[r.idx]
+				ok, err := step(r, rid, e, n, params, queues, coll)
+				if err != nil {
+					return Result{}, err
+				}
+				if !ok {
+					break
+				}
+				progressed = true
+				r.idx++
+				if r.idx == len(r.events) {
+					remaining--
+				}
+			}
+		}
+		if !progressed && remaining > 0 {
+			return Result{}, fmt.Errorf("simmpi: simulation stalled (mismatched trace?): %s", stallState(ranks))
+		}
+	}
+	res := Result{PerRankNS: make([]float64, n), CommNS: make([]float64, n), ComputeNS: make([]float64, n)}
+	for i := range ranks {
+		res.PerRankNS[i] = ranks[i].clock
+		res.CommNS[i] = ranks[i].comm
+		res.ComputeNS[i] = ranks[i].compute
+		res.TotalNS = math.Max(res.TotalNS, ranks[i].clock)
+	}
+	return res, nil
+}
+
+func stallState(ranks []simRank) string {
+	for i := range ranks {
+		if ranks[i].idx < len(ranks[i].events) {
+			return fmt.Sprintf("rank %d stuck at event %d (%v)", i, ranks[i].idx, ranks[i].events[ranks[i].idx].Op)
+		}
+	}
+	return "all done"
+}
+
+// step attempts to process one event; it returns false when the event must
+// wait for progress elsewhere.
+func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
+	queues map[msgKey][]float64, coll func(int) *collGroup) (bool, error) {
+	// Compute time precedes the call.
+	advCompute := func() {
+		r.clock += e.ComputeNS
+		r.compute += e.ComputeNS
+	}
+	start := func() float64 { return r.clock }
+
+	switch {
+	case e.Op == trace.OpInit:
+		advCompute()
+		return true, nil
+	case e.Op == trace.OpSend || e.Op == trace.OpIsend:
+		advCompute()
+		t0 := start()
+		inject := p.OverheadNS + p.GapPerByteNS*float64(e.Size)
+		r.clock += inject
+		key := msgKey{rid, e.Peer, e.Tag}
+		queues[key] = append(queues[key], r.clock+p.LatencyNS)
+		if e.Op == trace.OpIsend {
+			// Request bookkeeping only; sends complete locally.
+		}
+		r.comm += r.clock - t0
+		return true, nil
+	case e.Op == trace.OpIrecv:
+		advCompute()
+		t0 := start()
+		r.clock += p.OverheadNS / 2
+		r.pending = append(r.pending, pendingRecv{gid: e.GID, peer: e.Peer, tag: e.Tag, size: e.Size})
+		r.comm += r.clock - t0
+		return true, nil
+	case e.Op == trace.OpRecv:
+		key := msgKey{e.Peer, rid, e.Tag}
+		q := queues[key]
+		if len(q) == 0 {
+			return false, nil // matching send not simulated yet
+		}
+		advCompute()
+		t0 := start()
+		avail := q[0]
+		queues[key] = q[1:]
+		r.clock = math.Max(r.clock+p.OverheadNS, avail)
+		r.comm += r.clock - t0
+		return true, nil
+	case e.Op.IsCompletion():
+		// Determine which pending receives complete here, by poster GID.
+		var toComplete []int
+		used := map[int]bool{}
+		for _, gid := range e.Reqs {
+			for i, pr := range r.pending {
+				if used[i] || pr.gid != gid {
+					continue
+				}
+				toComplete = append(toComplete, i)
+				used[i] = true
+				break
+			}
+			// GIDs without a pending receive are completed sends: no wait.
+		}
+		// All needed messages must be available before the wait can finish.
+		needed := map[msgKey]int{}
+		for _, i := range toComplete {
+			pr := r.pending[i]
+			needed[msgKey{pr.peer, rid, pr.tag}]++
+		}
+		for key, cnt := range needed {
+			if len(queues[key]) < cnt {
+				return false, nil
+			}
+		}
+		advCompute()
+		t0 := start()
+		for _, i := range toComplete {
+			pr := r.pending[i]
+			key := msgKey{pr.peer, rid, pr.tag}
+			avail := queues[key][0]
+			queues[key] = queues[key][1:]
+			r.clock = math.Max(r.clock, avail)
+		}
+		r.clock += p.OverheadNS / 2
+		// Drop completed receives from pending, preserving order.
+		if len(toComplete) > 0 {
+			kept := r.pending[:0]
+			for i, pr := range r.pending {
+				if !used[i] {
+					kept = append(kept, pr)
+				}
+			}
+			r.pending = kept
+		}
+		r.comm += r.clock - t0
+		return true, nil
+	case e.Op.IsCollective() || e.Op == trace.OpFinalize:
+		g := coll(r.collIdx)
+		if !r.inColl {
+			advCompute()
+			if g.arrived == 0 {
+				g.op, g.size = e.Op, e.Size
+			} else if g.op != e.Op || g.size != e.Size {
+				return false, fmt.Errorf("simmpi: collective mismatch at occurrence %d: rank %d %v(%d) vs %v(%d)",
+					r.collIdx, rid, e.Op, e.Size, g.op, g.size)
+			}
+			g.arrived++
+			g.maxT = math.Max(g.maxT, r.clock)
+			r.inColl = true
+			if g.arrived == n {
+				g.finish = g.maxT + mpisim.CollectiveCostNS(p, n, e.Op, e.Size)
+				g.done = true
+			}
+		}
+		if !g.done {
+			return false, nil
+		}
+		r.comm += g.finish - r.clock
+		r.clock = g.finish
+		r.collIdx++
+		r.inColl = false
+		return true, nil
+	default:
+		// MPI_Init and anything without timing semantics.
+		advCompute()
+		return true, nil
+	}
+}

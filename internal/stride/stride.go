@@ -1,0 +1,236 @@
+// Package stride implements run compression of integer sequences using
+// <first, stride, count> tuples, the core encoding CYPRESS uses for loop
+// iteration counts and branch taken-indices (paper Section IV, Figures 10-11).
+//
+// A Vector stores an ordered sequence of int64 values; consecutive values
+// with a constant difference collapse into a single run. Appending is O(1)
+// amortized, random access is O(log r) in the number of runs, and two vectors
+// compare in O(r) time.
+package stride
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run is a maximal arithmetic subsequence: Count values starting at First
+// with common difference Stride. A Run with Count == 1 has Stride 0.
+type Run struct {
+	First  int64
+	Stride int64
+	Count  int64
+}
+
+// Last returns the final value covered by the run.
+func (r Run) Last() int64 { return r.First + (r.Count-1)*r.Stride }
+
+// At returns the i-th value of the run (0-based). It panics if i is out of
+// range, which indicates a bug in the caller's cursor arithmetic.
+func (r Run) At(i int64) int64 {
+	if i < 0 || i >= r.Count {
+		panic(fmt.Sprintf("stride: run index %d out of range [0,%d)", i, r.Count))
+	}
+	return r.First + i*r.Stride
+}
+
+// Vector is an append-only integer sequence stored as stride runs.
+// The zero value is an empty vector ready for use.
+type Vector struct {
+	runs   []Run
+	n      int64   // total number of values
+	prefix []int64 // prefix[i] = number of values in runs[:i]; lazily rebuilt
+	dirty  bool    // prefix out of date
+}
+
+// Len returns the number of logical values stored.
+func (v *Vector) Len() int64 { return v.n }
+
+// Runs returns the underlying runs. The slice must not be modified.
+func (v *Vector) Runs() []Run { return v.runs }
+
+// Append adds x to the end of the sequence, extending the final run when x
+// continues its arithmetic progression.
+func (v *Vector) Append(x int64) {
+	v.n++
+	v.dirty = true
+	if len(v.runs) == 0 {
+		v.runs = append(v.runs, Run{First: x, Count: 1})
+		return
+	}
+	last := &v.runs[len(v.runs)-1]
+	switch last.Count {
+	case 1:
+		// A singleton can adopt any stride.
+		last.Stride = x - last.First
+		last.Count = 2
+		return
+	default:
+		if last.Last()+last.Stride == x {
+			last.Count++
+			return
+		}
+	}
+	v.runs = append(v.runs, Run{First: x, Count: 1})
+}
+
+// AppendRun adds an explicit run to the end of the sequence. It is used when
+// bulk-loading decoded vectors; no merging with the previous run is attempted
+// beyond the trivial continuation check.
+func (v *Vector) AppendRun(r Run) {
+	if r.Count <= 0 {
+		return
+	}
+	v.n += r.Count
+	v.dirty = true
+	if len(v.runs) > 0 {
+		last := &v.runs[len(v.runs)-1]
+		if last.Stride == r.Stride && last.Last()+last.Stride == r.First {
+			last.Count += r.Count
+			return
+		}
+	}
+	v.runs = append(v.runs, r)
+}
+
+func (v *Vector) rebuild() {
+	if !v.dirty {
+		return
+	}
+	v.prefix = v.prefix[:0]
+	var c int64
+	for _, r := range v.runs {
+		v.prefix = append(v.prefix, c)
+		c += r.Count
+	}
+	v.dirty = false
+}
+
+// SetLast replaces the final value of the sequence. It panics when empty.
+func (v *Vector) SetLast(x int64) {
+	if v.n == 0 {
+		panic("stride: SetLast on empty vector")
+	}
+	last := &v.runs[len(v.runs)-1]
+	last.Count--
+	v.n--
+	if last.Count == 0 {
+		v.runs = v.runs[:len(v.runs)-1]
+	}
+	v.dirty = true
+	v.Append(x)
+}
+
+// At returns the i-th value. It panics when i is out of range.
+func (v *Vector) At(i int64) int64 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("stride: index %d out of range [0,%d)", i, v.n))
+	}
+	v.rebuild()
+	// Find the run containing index i.
+	k := sort.Search(len(v.prefix), func(j int) bool { return v.prefix[j] > i }) - 1
+	return v.runs[k].At(i - v.prefix[k])
+}
+
+// Values materializes the full sequence. Intended for tests and small dumps.
+func (v *Vector) Values() []int64 {
+	out := make([]int64, 0, v.n)
+	for _, r := range v.runs {
+		for i := int64(0); i < r.Count; i++ {
+			out = append(out, r.At(i))
+		}
+	}
+	return out
+}
+
+// Equal reports whether two vectors encode the same sequence. Because both
+// encoders are canonical for the same input order, run-wise comparison
+// suffices for vectors built through Append.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n || len(v.runs) != len(o.runs) {
+		return false
+	}
+	for i, r := range v.runs {
+		q := o.runs[i]
+		if r.First != q.First || r.Count != q.Count {
+			return false
+		}
+		if r.Count > 1 && r.Stride != q.Stride {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all values; used to recover the total event count
+// beneath a loop vertex.
+func (v *Vector) Sum() int64 {
+	var s int64
+	for _, r := range v.runs {
+		// Sum of arithmetic series: n*first + stride*(0+1+...+(n-1)).
+		s += r.Count*r.First + r.Stride*(r.Count-1)*r.Count/2
+	}
+	return s
+}
+
+// SizeBytes estimates the serialized footprint: three varint-ish words per
+// run. The constant 8 is a deliberate upper-bound per word so that size
+// comparisons between compressors are conservative for CYPRESS.
+func (v *Vector) SizeBytes() int64 { return int64(len(v.runs)) * 24 }
+
+// String renders the vector in the paper's tuple notation.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, r := range v.runs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if r.Count == 1 {
+			fmt.Fprintf(&b, "<%d>", r.First)
+		} else {
+			fmt.Fprintf(&b, "<%d,%d,%d>", r.First, r.Last(), r.Stride)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Set is a strictly-increasing stride-compressed integer set, used for branch
+// taken-indices (values are activation numbers) and similar index sets.
+type Set struct {
+	Vector
+}
+
+// Add inserts x, which must be greater than every element already present.
+func (s *Set) Add(x int64) {
+	if s.n > 0 {
+		last := s.runs[len(s.runs)-1].Last()
+		if x <= last {
+			panic(fmt.Sprintf("stride: Set.Add out of order: %d after %d", x, last))
+		}
+	}
+	s.Append(x)
+}
+
+// Contains reports whether x is in the set using binary search over runs.
+func (s *Set) Contains(x int64) bool {
+	// Runs are in increasing order of First for a strictly increasing set.
+	lo, hi := 0, len(s.runs)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r := s.runs[mid]
+		switch {
+		case x < r.First:
+			hi = mid - 1
+		case x > r.Last():
+			lo = mid + 1
+		default:
+			if r.Count == 1 {
+				return x == r.First
+			}
+			return (x-r.First)%r.Stride == 0
+		}
+	}
+	return false
+}

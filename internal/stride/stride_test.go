@@ -1,0 +1,252 @@
+package stride
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendConstant(t *testing.T) {
+	var v Vector
+	for i := 0; i < 100; i++ {
+		v.Append(7)
+	}
+	if got := len(v.Runs()); got != 1 {
+		t.Fatalf("constant sequence should collapse to 1 run, got %d", got)
+	}
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", v.Len())
+	}
+	if v.At(57) != 7 {
+		t.Fatalf("At(57) = %d, want 7", v.At(57))
+	}
+}
+
+func TestAppendArithmetic(t *testing.T) {
+	var v Vector
+	for i := int64(0); i < 50; i++ {
+		v.Append(3 + 5*i)
+	}
+	if got := len(v.Runs()); got != 1 {
+		t.Fatalf("arithmetic sequence should collapse to 1 run, got %d", got)
+	}
+	r := v.Runs()[0]
+	if r.First != 3 || r.Stride != 5 || r.Count != 50 {
+		t.Fatalf("run = %+v", r)
+	}
+	if r.Last() != 3+5*49 {
+		t.Fatalf("Last = %d", r.Last())
+	}
+}
+
+func TestPaperNestedLoopExample(t *testing.T) {
+	// Paper Fig 10: inner loop iteration counts 0,1,2,...,k-1 compress to
+	// a single <0,k-1,1> tuple.
+	const k = 20
+	var v Vector
+	for i := int64(0); i < k; i++ {
+		v.Append(i)
+	}
+	if got := v.String(); got != "[<0,19,1>]" {
+		t.Fatalf("String = %q", got)
+	}
+	if v.Sum() != k*(k-1)/2 {
+		t.Fatalf("Sum = %d", v.Sum())
+	}
+}
+
+func TestMixedRuns(t *testing.T) {
+	var v Vector
+	in := []int64{5, 5, 5, 1, 3, 5, 7, 100}
+	for _, x := range in {
+		v.Append(x)
+	}
+	if !reflect.DeepEqual(v.Values(), in) {
+		t.Fatalf("Values = %v, want %v", v.Values(), in)
+	}
+	for i, want := range in {
+		if got := v.At(int64(i)); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	var a, b Vector
+	for i := int64(0); i < 30; i++ {
+		a.Append(i % 7)
+		b.Append(i % 7)
+	}
+	if !a.Equal(&b) {
+		t.Fatal("identical vectors must be Equal")
+	}
+	b.Append(0)
+	if a.Equal(&b) {
+		t.Fatal("length mismatch must not be Equal")
+	}
+	var c Vector
+	for i := int64(0); i < 31; i++ {
+		c.Append(i % 7)
+	}
+	if a.Equal(&c) {
+		t.Fatal("different sequences must not be Equal")
+	}
+}
+
+func TestAppendRunContinuation(t *testing.T) {
+	var v Vector
+	v.AppendRun(Run{First: 0, Stride: 2, Count: 5}) // 0 2 4 6 8
+	v.AppendRun(Run{First: 10, Stride: 2, Count: 3})
+	if len(v.Runs()) != 1 {
+		t.Fatalf("continuation run should merge, got %d runs", len(v.Runs()))
+	}
+	if v.Len() != 8 || v.At(7) != 14 {
+		t.Fatalf("Len=%d At(7)=%d", v.Len(), v.At(7))
+	}
+	v.AppendRun(Run{First: 0, Count: 0}) // no-op
+	if v.Len() != 8 {
+		t.Fatal("empty run must be ignored")
+	}
+}
+
+func TestSetBranchAlternation(t *testing.T) {
+	// Paper Fig 11: branch taken at iterations <0,8,2> and <1,9,2>.
+	var even, odd Set
+	for i := int64(0); i < 10; i++ {
+		if i%2 == 0 {
+			even.Add(i)
+		} else {
+			odd.Add(i)
+		}
+	}
+	if even.String() != "[<0,8,2>]" || odd.String() != "[<1,9,2>]" {
+		t.Fatalf("even=%s odd=%s", even.String(), odd.String())
+	}
+	for i := int64(0); i < 10; i++ {
+		if even.Contains(i) != (i%2 == 0) {
+			t.Fatalf("even.Contains(%d) wrong", i)
+		}
+		if odd.Contains(i) != (i%2 == 1) {
+			t.Fatalf("odd.Contains(%d) wrong", i)
+		}
+	}
+	if even.Contains(-1) || even.Contains(10) || even.Contains(11) {
+		t.Fatal("out-of-range Contains must be false")
+	}
+}
+
+func TestSetAddOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order Add")
+		}
+	}()
+	var s Set
+	s.Add(5)
+	s.Add(5)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range At")
+		}
+	}()
+	var v Vector
+	v.Append(1)
+	v.At(1)
+}
+
+func TestSumMatchesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var v Vector
+	var want int64
+	for i := 0; i < 1000; i++ {
+		x := int64(rng.Intn(20))
+		v.Append(x)
+		want += x
+	}
+	if v.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", v.Sum(), want)
+	}
+}
+
+// Property: for any input sequence, Values() round-trips and At() agrees.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(xs []int16) bool {
+		var v Vector
+		for _, x := range xs {
+			v.Append(int64(x))
+		}
+		if v.Len() != int64(len(xs)) {
+			return false
+		}
+		vals := v.Values()
+		for i, x := range xs {
+			if vals[i] != int64(x) || v.At(int64(i)) != int64(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Set.Contains agrees with a map for strictly increasing input.
+func TestQuickSetMembership(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		var s Set
+		seen := map[int64]bool{}
+		cur := int64(0)
+		for _, d := range deltas {
+			cur += int64(d) + 1 // strictly increasing
+			s.Add(cur)
+			seen[cur] = true
+		}
+		for x := int64(0); x <= cur+2; x++ {
+			if s.Contains(x) != seen[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionEffectiveness(t *testing.T) {
+	// A million-element arithmetic sequence must stay O(1) in runs.
+	var v Vector
+	for i := int64(0); i < 1_000_000; i++ {
+		v.Append(i * 3)
+	}
+	if len(v.Runs()) != 1 {
+		t.Fatalf("runs = %d, want 1", len(v.Runs()))
+	}
+	if v.SizeBytes() != 24 {
+		t.Fatalf("SizeBytes = %d", v.SizeBytes())
+	}
+}
+
+func BenchmarkAppendArithmetic(b *testing.B) {
+	var v Vector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Append(int64(i))
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	var v Vector
+	for i := int64(0); i < 1000; i++ {
+		v.Append(i % 13) // many runs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.At(int64(i) % v.Len())
+	}
+}

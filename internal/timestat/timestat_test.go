@@ -1,0 +1,167 @@
+package timestat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStddev(t *testing.T) {
+	s := New(ModeMeanStddev)
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N != 8 || !almost(s.Mean, 5, 1e-9) {
+		t.Fatalf("N=%d Mean=%f", s.N, s.Mean)
+	}
+	// Sample stddev of the classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.Stddev(), want, 1e-9) {
+		t.Fatalf("Stddev = %f, want %f", s.Stddev(), want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min=%f Max=%f", s.Min, s.Max)
+	}
+	if !almost(s.Sum(), 40, 1e-9) {
+		t.Fatalf("Sum = %f", s.Sum())
+	}
+}
+
+func TestSingleAndEmpty(t *testing.T) {
+	s := New(ModeMeanStddev)
+	if s.Stddev() != 0 {
+		t.Fatal("empty stddev must be 0")
+	}
+	s.Add(100)
+	if s.Stddev() != 0 {
+		t.Fatal("single-sample stddev must be 0")
+	}
+	if s.Mean != 100 || s.Min != 100 || s.Max != 100 {
+		t.Fatalf("moments wrong: %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	s := New(ModeHistogram)
+	s.Add(0.5) // sub-ns → bucket 0
+	s.Add(1)   // bucket 0
+	s.Add(2)   // bucket 1
+	s.Add(3)   // bucket 1
+	s.Add(1024)
+	s.Add(1 << 60) // clamps to last bucket
+	if s.Hist[0] != 2 || s.Hist[1] != 2 || s.Hist[10] != 1 || s.Hist[HistBuckets-1] != 1 {
+		t.Fatalf("hist = %v", s.Hist)
+	}
+	if BucketLow(10) != 1024 {
+		t.Fatalf("BucketLow(10) = %f", BucketLow(10))
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, all := New(ModeHistogram), New(ModeHistogram), New(ModeHistogram)
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 1e6
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N != all.N {
+		t.Fatalf("N=%d want %d", a.N, all.N)
+	}
+	if !almost(a.Mean, all.Mean, 1e-6) || !almost(a.Stddev(), all.Stddev(), 1e-6) {
+		t.Fatalf("merged mean/sd %f/%f want %f/%f", a.Mean, a.Stddev(), all.Mean, all.Stddev())
+	}
+	if a.Min != all.Min || a.Max != all.Max {
+		t.Fatal("min/max wrong after merge")
+	}
+	for i := range a.Hist {
+		if a.Hist[i] != all.Hist[i] {
+			t.Fatalf("hist bucket %d: %d want %d", i, a.Hist[i], all.Hist[i])
+		}
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	a, b := New(ModeMeanStddev), New(ModeMeanStddev)
+	b.Add(5)
+	b.Add(7)
+	a.Merge(b)
+	if a.N != 2 || !almost(a.Mean, 6, 1e-9) {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	// Merging an empty stat is a no-op.
+	before := *a
+	a.Merge(New(ModeMeanStddev))
+	if a.N != before.N || a.Mean != before.Mean {
+		t.Fatal("merging empty changed stat")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(ModeHistogram)
+	s.Add(10)
+	c := s.Clone()
+	c.Add(1000)
+	if s.N != 1 || c.N != 2 {
+		t.Fatal("clone is not independent")
+	}
+	if s.Hist[3] != c.Hist[3] {
+		t.Fatal("clone lost shared history")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s := New(ModeMeanStddev)
+	if s.SizeBytes() != 40 {
+		t.Fatalf("plain SizeBytes = %d", s.SizeBytes())
+	}
+	h := New(ModeHistogram)
+	h.Add(2)
+	h.Add(1024)
+	if h.SizeBytes() != 40+12 {
+		t.Fatalf("hist SizeBytes = %d", h.SizeBytes())
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		a, b, all := New(ModeMeanStddev), New(ModeMeanStddev), New(ModeMeanStddev)
+		for _, x := range xs {
+			v := float64(x) // realistic ns-scale durations
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, y := range ys {
+			v := float64(y)
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(b)
+		if a.N != all.N {
+			return false
+		}
+		if a.N == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean))
+		return almost(a.Mean, all.Mean, tol) && almost(a.Stddev(), all.Stddev(), math.Sqrt(tol))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(ModeHistogram)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 100000))
+	}
+}

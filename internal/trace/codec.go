@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The raw binary trace codec is the uncompressed on-disk format, playing the
+// role of OTF in the paper: one varint-packed record per event, one stream
+// per rank. The Gzip baseline compresses exactly this stream.
+
+// Writer encodes events to a compact binary stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	n   int64
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (w *Writer) uvarint(x uint64) {
+	n := binary.PutUvarint(w.buf[:], x)
+	w.w.Write(w.buf[:n])
+	w.n += int64(n)
+}
+
+func (w *Writer) varint(x int64) {
+	n := binary.PutVarint(w.buf[:], x)
+	w.w.Write(w.buf[:n])
+	w.n += int64(n)
+}
+
+// WriteEvent appends one event record.
+func (w *Writer) WriteEvent(e *Event) {
+	w.uvarint(uint64(e.Op))
+	w.uvarint(uint64(e.Size))
+	w.varint(int64(e.Peer))
+	w.uvarint(uint64(e.Tag))
+	w.uvarint(uint64(e.Comm))
+	w.varint(int64(e.GID))
+	flag := uint64(0)
+	if e.Wildcard {
+		flag = 1
+	}
+	w.uvarint(flag)
+	w.varint(int64(e.ReqID))
+	w.uvarint(uint64(len(e.Reqs)))
+	for _, r := range e.Reqs {
+		w.varint(int64(r))
+	}
+	w.uvarint(uint64(len(e.ReqSrcs)))
+	for _, r := range e.ReqSrcs {
+		w.varint(int64(r))
+	}
+	w.uvarint(math.Float64bits(e.DurationNS))
+	w.uvarint(math.Float64bits(e.ComputeNS))
+}
+
+// Flush flushes buffered output and returns the total bytes written.
+func (w *Writer) Flush() (int64, error) {
+	if err := w.w.Flush(); err != nil {
+		return w.n, err
+	}
+	return w.n, nil
+}
+
+// Reader decodes events produced by Writer.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ReadEvent decodes the next event. It returns io.EOF cleanly at stream end.
+func (r *Reader) ReadEvent() (Event, error) {
+	var e Event
+	op, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, err // io.EOF passes through untouched
+	}
+	e.Op = Op(op)
+	if !e.Op.Valid() {
+		return e, fmt.Errorf("trace: invalid op %d", op)
+	}
+	fields := []func() error{
+		func() error { v, err := binary.ReadUvarint(r.r); e.Size = int(v); return err },
+		func() error { v, err := binary.ReadVarint(r.r); e.Peer = int(v); return err },
+		func() error { v, err := binary.ReadUvarint(r.r); e.Tag = int(v); return err },
+		func() error { v, err := binary.ReadUvarint(r.r); e.Comm = int(v); return err },
+		func() error { v, err := binary.ReadVarint(r.r); e.GID = int32(v); return err },
+	}
+	for _, f := range fields {
+		if err := f(); err != nil {
+			return e, fmt.Errorf("trace: truncated record: %w", err)
+		}
+	}
+	flag, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	e.Wildcard = flag&1 != 0
+	rid, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	e.ReqID = int32(rid)
+	readList := func() ([]int32, error) {
+		n, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("trace: implausible request count %d", n)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]int32, n)
+		for i := range out {
+			v, err := binary.ReadVarint(r.r)
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated record: %w", err)
+			}
+			out[i] = int32(v)
+		}
+		return out, nil
+	}
+	if e.Reqs, err = readList(); err != nil {
+		return e, err
+	}
+	if e.ReqSrcs, err = readList(); err != nil {
+		return e, err
+	}
+	d, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	e.DurationNS = math.Float64frombits(d)
+	c, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return e, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	e.ComputeNS = math.Float64frombits(c)
+	return e, nil
+}
+
+// ReadAll decodes the whole stream.
+func (r *Reader) ReadAll() ([]Event, error) {
+	var out []Event
+	for {
+		e, err := r.ReadEvent()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

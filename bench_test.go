@@ -38,6 +38,16 @@ func BenchmarkFig20LesliePatterns(b *testing.B)       { runExperiment(b, "fig20"
 func BenchmarkFig21Prediction(b *testing.B)           { runExperiment(b, "fig21") }
 func BenchmarkAblations(b *testing.B)                 { runExperiment(b, "ablate") }
 
+// Component microbenchmarks for the compression hot paths (bodies live in
+// internal/bench/micro.go so cypressbench -benchjson can run them too).
+// All report allocations; BenchmarkCompressorEvent is the steady-state
+// tracing-overhead guard (see the AllocsPerRun test in internal/ctt).
+
+func BenchmarkCompressorEvent(b *testing.B) { bench.BenchCompressorEvent(b) }
+func BenchmarkRecordMerge(b *testing.B)     { bench.BenchRecordMerge(b) }
+func BenchmarkMergePair(b *testing.B)       { bench.BenchMergePair(b) }
+func BenchmarkEncode(b *testing.B)          { bench.BenchEncode(b) }
+
 // BenchmarkPipelineCompile measures the static analysis module end to end
 // (parse, check, lower, CFG analyses, CST build) on the largest skeleton.
 func BenchmarkPipelineCompile(b *testing.B) {

@@ -6,54 +6,124 @@
 //	cypressbench -exp all              # everything, default scale
 //	cypressbench -exp fig18 -full      # extend to the paper's largest P
 //	cypressbench -exp fig16 -quick     # smoke-test scale
+//	cypressbench -exp fig15 -par       # fan out (workload, procs) cells
+//	cypressbench -benchjson bench.json # component microbenchmarks as JSON
+//	cypressbench -exp fig15 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Experiments: table1, fig15, fig16, fig17, fig18, fig19, fig20, fig21,
 // ablate.
+//
+// Profiling: -cpuprofile writes a pprof CPU profile covering the whole run;
+// -memprofile writes an allocation profile captured at exit (after a GC, so
+// it reflects live heap plus cumulative allocs). Inspect either with
+// `go tool pprof`. -benchjson runs the registered microbenchmarks via
+// testing.Benchmark and writes machine-readable results for trajectory
+// tracking; it composes with -exp (benchmarks run first) and with the
+// profile flags, but the usual mode is -benchjson alone with -exp none.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or 'all'")
+	exp := flag.String("exp", "all", "experiment id, 'all', or 'none'")
 	quick := flag.Bool("quick", false, "smoke-test scale (small iterations, few ranks)")
 	full := flag.Bool("full", false, "extend to the paper's largest process counts")
-	workers := flag.Int("workers", 0, "merge parallelism (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "merge/finish parallelism (0 = GOMAXPROCS)")
+	par := flag.Bool("par", false, "evaluate independent (workload, procs) cells concurrently (size figures only; timing columns get noisy)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	benchjson := flag.String("benchjson", "", "run component microbenchmarks and write JSON results to this file ('-' = stdout)")
 	flag.Parse()
 
-	cfg := bench.Config{Quick: *quick, Full: *full, Workers: *workers}
+	if err := mainErr(*exp, *quick, *full, *workers, *par, *cpuprofile, *memprofile, *benchjson); err != nil {
+		fmt.Fprintln(os.Stderr, "cypressbench:", err)
+		os.Exit(1)
+	}
+}
+
+// mainErr is the flag-free body, separated so deferred profile writers run
+// before the process exits (os.Exit skips defers).
+func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, memprofile, benchjson string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cypressbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cypressbench: -memprofile:", err)
+			}
+		}()
+	}
+
+	if benchjson != "" {
+		out := os.Stdout
+		if benchjson != "-" {
+			f, err := os.Create(benchjson)
+			if err != nil {
+				return fmt.Errorf("-benchjson: %w", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		fmt.Fprintln(os.Stderr, "cypressbench: running component microbenchmarks...")
+		if err := bench.WriteMicroJSON(out); err != nil {
+			return fmt.Errorf("-benchjson: %w", err)
+		}
+		if exp == "all" {
+			// -benchjson alone should not drag in the full experiment suite.
+			exp = "none"
+		}
+	}
+	if exp == "none" {
+		return nil
+	}
+
+	cfg := bench.Config{Quick: quick, Full: full, Workers: workers, ParallelCells: par}
 	run := func(e bench.Experiment) error {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		t0 := time.Now()
 		if err := e.Run(os.Stdout, cfg); err != nil {
-			return err
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
 		return nil
 	}
 
-	if *exp == "all" {
+	if exp == "all" {
 		for _, e := range bench.Experiments() {
 			if err := run(e); err != nil {
-				fmt.Fprintf(os.Stderr, "cypressbench: %s: %v\n", e.ID, err)
-				os.Exit(1)
+				return err
 			}
 		}
-		return
+		return nil
 	}
-	e, err := bench.Get(*exp)
+	e, err := bench.Get(exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cypressbench:", err)
-		os.Exit(2)
+		return err
 	}
-	if err := run(e); err != nil {
-		fmt.Fprintf(os.Stderr, "cypressbench: %s: %v\n", e.ID, err)
-		os.Exit(1)
-	}
+	return run(e)
 }

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"compress/gzip"
 
+	"repro/internal/encpool"
 	"repro/internal/trace"
 )
 
@@ -23,10 +24,11 @@ type Writer struct {
 	finished bool
 }
 
-// NewWriter returns a sink for one rank.
+// NewWriter returns a sink for one rank. The gzip writer comes from a shared
+// pool (deflate state is ~1.4MB per writer); Finalize returns it.
 func NewWriter() *Writer {
 	w := &Writer{}
-	w.gz = gzip.NewWriter(&w.buf)
+	w.gz = encpool.GetGzip(&w.buf)
 	w.tw = trace.NewWriter(w.gz)
 	return w
 }
@@ -56,6 +58,8 @@ func (w *Writer) Finalize() {
 	if err != nil {
 		panic("rawgzip: " + err.Error())
 	}
+	encpool.PutGzip(w.gz)
+	w.gz = nil
 	w.rawBytes = n
 	w.finished = true
 }

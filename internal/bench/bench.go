@@ -15,7 +15,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline/rawgzip"
@@ -40,6 +43,11 @@ type Config struct {
 	Full bool
 	// Workers bounds merge parallelism (0 = GOMAXPROCS).
 	Workers int
+	// ParallelCells evaluates independent (workload, procs) cells of the
+	// size figures concurrently. Off by default: the timing columns of
+	// Figures 16 and 18 are only meaningful when cells do not compete for
+	// cores, so fan-out is an explicit opt-in for size-only runs.
+	ParallelCells bool
 }
 
 // procsFor selects the process-count axis for a workload.
@@ -153,9 +161,12 @@ func MeasureIntra(w *npb.Workload, n int, cfg Config) (*IntraMeasured, error) {
 	if cfg.Quick {
 		reps = 2
 	}
-	timeRun := func(mk func(rank int) trace.Sink) (float64, error) {
+	timeRun := func(reset func(), mk func(rank int) trace.Sink) (float64, error) {
 		best := -1.0
 		for r := 0; r < reps; r++ {
+			if reset != nil {
+				reset()
+			}
 			var sinks []trace.Sink
 			if mk != nil {
 				sinks = make([]trace.Sink, n)
@@ -175,7 +186,7 @@ func MeasureIntra(w *npb.Workload, n int, cfg Config) (*IntraMeasured, error) {
 		}
 		return best, nil
 	}
-	base, err := timeRun(nil)
+	base, err := timeRun(nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -186,29 +197,34 @@ func MeasureIntra(w *npb.Workload, n int, cfg Config) (*IntraMeasured, error) {
 		SlowdownPct: map[string]float64{},
 		MemBytes:    map[string]int64{},
 	}
-	// Memory probes reuse one traced run per method.
+	// Memory probes read the compressors of each method's FINAL timed rep.
+	// The collector slices are reset at the start of every rep (the reset
+	// hook below), so they hold exactly n live compressors afterwards —
+	// previously they accumulated n compressors per rep, pinning every
+	// warm-up rep's state in memory for the rest of the measurement.
 	var lastCyp []*ctt.Compressor
 	var lastSt1 []*scalatrace.Compressor
 	methods := []struct {
-		name string
-		mk   func(rank int) trace.Sink
+		name  string
+		reset func()
+		mk    func(rank int) trace.Sink
 	}{
-		{MCypress, func(rank int) trace.Sink {
+		{MCypress, func() { lastCyp = lastCyp[:0] }, func(rank int) trace.Sink {
 			c := ctt.NewCompressor(tree, rank, timestat.ModeMeanStddev)
 			lastCyp = append(lastCyp, c)
 			return c
 		}},
-		{MScala, func(rank int) trace.Sink {
+		{MScala, func() { lastSt1 = lastSt1[:0] }, func(rank int) trace.Sink {
 			c := scalatrace.NewCompressor(scalatrace.V1, rank, 0)
 			lastSt1 = append(lastSt1, c)
 			return c
 		}},
-		{MScala2, func(rank int) trace.Sink {
+		{MScala2, nil, func(rank int) trace.Sink {
 			return scalatrace.NewCompressor(scalatrace.V2, rank, 0)
 		}},
 	}
 	for _, meth := range methods {
-		sec, err := timeRun(meth.mk)
+		sec, err := timeRun(meth.reset, meth.mk)
 		if err != nil {
 			return nil, err
 		}
@@ -218,11 +234,14 @@ func MeasureIntra(w *npb.Workload, n int, cfg Config) (*IntraMeasured, error) {
 		}
 		out.SlowdownPct[meth.name] = pct
 	}
+	if len(lastCyp) != n || len(lastSt1) != n {
+		return nil, fmt.Errorf("bench: memory probe saw %d/%d compressors, want %d", len(lastCyp), len(lastSt1), n)
+	}
 	var memCyp, memSt1 int64
-	for _, c := range lastCyp[len(lastCyp)-n:] {
+	for _, c := range lastCyp {
 		memCyp += c.MemoryBytes()
 	}
-	for _, c := range lastSt1[len(lastSt1)-n:] {
+	for _, c := range lastSt1 {
 		memSt1 += c.MemoryBytes()
 	}
 	out.MemBytes[MCypress] = memCyp / int64(n)
@@ -349,14 +368,19 @@ func Measure(w *npb.Workload, n int, cfg Config) (*Measured, error) {
 	m.MemBytes[MCypress] = memCyp / int64(n)
 	m.MemBytes[MScala] = memSt1 / int64(n)
 
-	// Finish per-rank artifacts.
+	// Finish per-rank artifacts. Finishing is embarrassingly parallel (each
+	// compressor owns its rank's state), and cycle detection plus peer-
+	// pattern compression make it the most expensive post-run step at large
+	// P, so it fans out over a bounded worker pool.
 	ctts := make([]*ctt.RankCTT, n)
 	tr1 := make([]*scalatrace.RankTrace, n)
 	tr2 := make([]*scalatrace.RankTrace, n)
-	for i := 0; i < n; i++ {
+	parallelRanks(n, cfg.Workers, func(i int) {
 		ctts[i] = cyp[i].Finish()
 		tr1[i] = st1[i].Finish()
 		tr2[i] = st2[i].Finish()
+	})
+	for i := 0; i < n; i++ {
 		m.Events += ctts[i].EventCount
 	}
 	m.Sizes[MGzip] = rawgzip.TotalCompressed(gz)
@@ -405,6 +429,93 @@ func Measure(w *npb.Workload, n int, cfg Config) (*Measured, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// parallelRanks runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (0 = GOMAXPROCS). Work is distributed by an atomic counter so
+// stragglers do not serialize behind a static partition.
+func parallelRanks(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// cell is one (workload, process count) point of an experiment grid.
+type cell struct {
+	wl *npb.Workload
+	n  int
+}
+
+// cells expands the configured process-count axis of each workload.
+func cells(wls []*npb.Workload, cfg Config) []cell {
+	var out []cell
+	for _, wl := range wls {
+		for _, n := range cfg.procsFor(wl) {
+			out = append(out, cell{wl, n})
+		}
+	}
+	return out
+}
+
+// measureCells evaluates every cell under Measure and returns results in
+// input order. Sequential by default; with cfg.ParallelCells the cells run
+// under a bounded worker pool (cfg.Workers, 0 = GOMAXPROCS). Parallel cells
+// contend for cores, so the InterSec timings of concurrent cells are noisy —
+// callers that print timing columns should document that -par trades timing
+// fidelity for wall-clock speed. The first error wins; remaining cells still
+// finish (each worker drains its queue) but their results are discarded.
+func measureCells(cs []cell, cfg Config) ([]*Measured, error) {
+	out := make([]*Measured, len(cs))
+	if !cfg.ParallelCells || len(cs) < 2 {
+		for i, c := range cs {
+			m, err := Measure(c.wl, c.n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+		}
+		return out, nil
+	}
+	var firstErr atomic.Pointer[error]
+	parallelRanks(len(cs), cfg.Workers, func(i int) {
+		m, err := Measure(cs[i].wl, cs[i].n, cfg)
+		if err != nil {
+			err = fmt.Errorf("%s/%d: %w", cs[i].wl.Name, cs[i].n, err)
+			firstErr.CompareAndSwap(nil, &err)
+			return
+		}
+		out[i] = m
+	})
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	return out, nil
 }
 
 func kb(b int64) float64 { return float64(b) / 1024 }

@@ -87,21 +87,24 @@ func Fig15(w io.Writer, cfg Config) error {
 		fmt.Fprintf(tw, "%s\t", m)
 	}
 	fmt.Fprintln(tw)
+	var wls []*npb.Workload
 	for _, wl := range npb.All() {
 		if wl.Name == "LESlie3d" {
 			continue // Figure 19's subject
 		}
-		for _, n := range cfg.procsFor(wl) {
-			m, err := Measure(wl, n, cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%s\t%d\t%d\t", m.Workload, m.Procs, m.Events)
-			for _, meth := range SizeMethods {
-				fmt.Fprintf(tw, "%.1f\t", kb(m.Sizes[meth]))
-			}
-			fmt.Fprintln(tw)
+		wls = append(wls, wl)
+	}
+	// Size-only figure: safe to fan out cells with -par.
+	ms, err := measureCells(cells(wls, cfg), cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t", m.Workload, m.Procs, m.Events)
+		for _, meth := range SizeMethods {
+			fmt.Fprintf(tw, "%.1f\t", kb(m.Sizes[meth]))
 		}
+		fmt.Fprintln(tw)
 	}
 	return tw.Flush()
 }
@@ -135,24 +138,30 @@ func Fig16(w io.Writer, cfg Config) error {
 	return tw.Flush()
 }
 
-// Fig18 regenerates the inter-process merge cost comparison.
+// Fig18 regenerates the inter-process merge cost comparison. The merge
+// timings are only clean when cells run one at a time, so this figure always
+// measures sequentially even under -par (the cell fan-out would make
+// concurrent cells compete for the cores the parallel reduction itself uses).
 func Fig18(w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "Figure 18: inter-process trace compression overhead (seconds)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "Prog\tProcs\tScalaTrace\tScalaTrace2\tCypress\tvs ST1\tvs ST2\t")
 	subjects := []string{"BT", "CG", "LU", "MG", "SP"}
+	var wls []*npb.Workload
 	for _, name := range subjects {
-		wl := npb.Get(name)
-		for _, n := range cfg.procsFor(wl) {
-			m, err := Measure(wl, n, cfg)
-			if err != nil {
-				return err
-			}
-			s1 := m.InterSec[MScala] / math.Max(m.InterSec[MCypress], 1e-9)
-			s2 := m.InterSec[MScala2] / math.Max(m.InterSec[MCypress], 1e-9)
-			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\t%.4f\t%.1fx\t%.1fx\t\n",
-				name, n, m.InterSec[MScala], m.InterSec[MScala2], m.InterSec[MCypress], s1, s2)
-		}
+		wls = append(wls, npb.Get(name))
+	}
+	seqCfg := cfg
+	seqCfg.ParallelCells = false
+	ms, err := measureCells(cells(wls, cfg), seqCfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		s1 := m.InterSec[MScala] / math.Max(m.InterSec[MCypress], 1e-9)
+		s2 := m.InterSec[MScala2] / math.Max(m.InterSec[MCypress], 1e-9)
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\t%.4f\t%.1fx\t%.1fx\t\n",
+			m.Workload, m.Procs, m.InterSec[MScala], m.InterSec[MScala2], m.InterSec[MCypress], s1, s2)
 	}
 	return tw.Flush()
 }
@@ -163,13 +172,14 @@ func Fig19(w io.Writer, cfg Config) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "Procs\tGzip\tScalaTrace\tCypress\tCypress+Gzip\t")
 	wl := npb.Get("LESlie3d")
-	for _, n := range cfg.procsFor(wl) {
-		m, err := Measure(wl, n, cfg)
-		if err != nil {
-			return err
-		}
+	// Size-only figure: safe to fan out cells with -par.
+	ms, err := measureCells(cells([]*npb.Workload{wl}, cfg), cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
 		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
-			n, kb(m.Sizes[MGzip]), kb(m.Sizes[MScala]), kb(m.Sizes[MCypress]), kb(m.Sizes[MCypressGzip]))
+			m.Procs, kb(m.Sizes[MGzip]), kb(m.Sizes[MScala]), kb(m.Sizes[MCypress]), kb(m.Sizes[MCypressGzip]))
 	}
 	return tw.Flush()
 }

@@ -1,0 +1,332 @@
+package bench
+
+// Component-level microbenchmarks for the compression hot paths, shared
+// between `go test -bench` (see the wrappers in the repo-root bench_test.go)
+// and `cypressbench -benchjson`, which runs them via testing.Benchmark and
+// emits machine-readable JSON for trajectory tracking and benchstat-style
+// regression comparisons.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/merge"
+	"repro/internal/mpisim"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// sink-call opcodes for recorded streams.
+const (
+	kLoopEnter = iota
+	kLoopIter
+	kBranchEnter
+	kBranchSkip
+	kCallEnter
+	kStructExit
+	kCommSite
+	kEvent
+	kFinalize
+)
+
+type sinkOp struct {
+	kind uint8
+	site int32
+	arm  int8
+	ev   trace.Event
+}
+
+// SinkStream is one rank's recorded sequence of trace.Sink calls. Replaying
+// it into a fresh compressor reproduces the exact instrumentation stream the
+// runtime produced, which lets microbenchmarks measure compressor cost in
+// isolation from the MPI simulator.
+type SinkStream struct {
+	ops    []sinkOp
+	events int
+}
+
+// Events returns the number of MPI events in the stream.
+func (s *SinkStream) Events() int { return s.events }
+
+// Replay drives every recorded call into dst. Events are passed as shallow
+// copies so dst may canonicalize its copy freely. The copy buffer is hoisted
+// out of the loop: passing a loop-local event through the Sink interface
+// would heap-allocate one copy per event and drown out the compressor's own
+// allocation behavior in microbenchmarks.
+func (s *SinkStream) Replay(dst trace.Sink) {
+	var evBuf trace.Event
+	for i := range s.ops {
+		op := &s.ops[i]
+		switch op.kind {
+		case kLoopEnter:
+			dst.LoopEnter(op.site)
+		case kLoopIter:
+			dst.LoopIter(op.site)
+		case kBranchEnter:
+			dst.BranchEnter(op.site, op.arm)
+		case kBranchSkip:
+			dst.BranchSkip(op.site)
+		case kCallEnter:
+			dst.CallEnter(op.site)
+		case kStructExit:
+			dst.StructExit()
+		case kCommSite:
+			dst.CommSite(op.site)
+		case kEvent:
+			evBuf = op.ev
+			dst.Event(&evBuf)
+		case kFinalize:
+			dst.Finalize()
+		}
+	}
+}
+
+// recorder captures the sink calls of one rank.
+type recorder struct{ s SinkStream }
+
+func (r *recorder) LoopEnter(site int32) { r.s.ops = append(r.s.ops, sinkOp{kind: kLoopEnter, site: site}) }
+func (r *recorder) LoopIter(site int32)  { r.s.ops = append(r.s.ops, sinkOp{kind: kLoopIter, site: site}) }
+func (r *recorder) BranchEnter(site int32, arm int8) {
+	r.s.ops = append(r.s.ops, sinkOp{kind: kBranchEnter, site: site, arm: arm})
+}
+func (r *recorder) BranchSkip(site int32) {
+	r.s.ops = append(r.s.ops, sinkOp{kind: kBranchSkip, site: site})
+}
+func (r *recorder) CallEnter(site int32) {
+	r.s.ops = append(r.s.ops, sinkOp{kind: kCallEnter, site: site})
+}
+func (r *recorder) StructExit() { r.s.ops = append(r.s.ops, sinkOp{kind: kStructExit}) }
+func (r *recorder) CommSite(site int32) {
+	r.s.ops = append(r.s.ops, sinkOp{kind: kCommSite, site: site})
+}
+func (r *recorder) Event(e *trace.Event) {
+	ev := *e
+	if e.Reqs != nil {
+		ev.Reqs = append([]int32(nil), e.Reqs...)
+	}
+	if e.ReqSrcs != nil {
+		ev.ReqSrcs = append([]int32(nil), e.ReqSrcs...)
+	}
+	r.s.ops = append(r.s.ops, sinkOp{kind: kEvent, ev: ev})
+	r.s.events++
+}
+func (r *recorder) Finalize() { r.s.ops = append(r.s.ops, sinkOp{kind: kFinalize}) }
+
+// compileSrc builds the CST for an MPL source string.
+func compileSrc(src string) (*lang.Program, *cst.Tree, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("micro: parse: %w", err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		return nil, nil, fmt.Errorf("micro: check: %w", err)
+	}
+	irProg, err := ir.Lower(prog)
+	if err != nil {
+		return nil, nil, fmt.Errorf("micro: lower: %w", err)
+	}
+	tree, err := cst.Build(irProg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("micro: cst: %w", err)
+	}
+	return prog, tree, nil
+}
+
+// RecordStream compiles src, runs it on n simulated ranks, and returns the
+// CST plus rank 0's recorded sink stream.
+func RecordStream(src string, n int) (*cst.Tree, *SinkStream, error) {
+	prog, tree, err := compileSrc(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]*recorder, n)
+	sinks := make([]trace.Sink, n)
+	for i := range sinks {
+		recs[i] = &recorder{}
+		sinks[i] = recs[i]
+	}
+	if _, err := mpisim.Run(n, mpisim.DefaultParams(), sinks, func(r *mpisim.Rank) {
+		interp.Execute(prog, r)
+	}); err != nil {
+		return nil, nil, err
+	}
+	return tree, &recs[0].s, nil
+}
+
+// ringSrc exercises the non-blocking hot path: every iteration posts an
+// irecv and an isend around the ring and waits on both, so the compressor's
+// request table and completion resolution run once per event in steady state.
+const ringSrc = `
+func main() {
+	for var k = 0; k < 256; k = k + 1 {
+		var r1 = irecv((rank + size - 1) % size, 4096, 7);
+		var r2 = isend((rank + 1) % size, 4096, 7);
+		wait(r1);
+		wait(r2);
+	}
+}`
+
+// bcastSrc exercises the pure record-merge fast path: one leaf, repeated
+// identical parameters, everything folds into a single run-length record.
+const bcastSrc = `
+func main() {
+	for var k = 0; k < 1024; k = k + 1 {
+		bcast(0, 4096);
+	}
+}`
+
+// stencilSrc produces a few records per leaf with rank-dependent peers, the
+// shape the inter-process merge and encoder see in practice.
+const stencilSrc = `
+func main() {
+	for var k = 0; k < 64; k = k + 1 {
+		if rank > 0 { var a = irecv(rank - 1, 2048, 3); wait(a); }
+		if rank < size - 1 { var b = isend(rank + 1, 2048, 3); wait(b); }
+		allreduce(8);
+	}
+}`
+
+func mustStream(b *testing.B, src string, n int) (*cst.Tree, *SinkStream) {
+	b.Helper()
+	tree, s, err := RecordStream(src, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, s
+}
+
+// runRanks executes src on n ranks under CYPRESS and returns finished CTTs.
+func runRanks(b *testing.B, src string, n int) []*ctt.RankCTT {
+	b.Helper()
+	prog, tree, err := compileSrc(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := make([]*ctt.Compressor, n)
+	sinks := make([]trace.Sink, n)
+	for i := range sinks {
+		comps[i] = ctt.NewCompressor(tree, i, timestat.ModeMeanStddev)
+		sinks[i] = comps[i]
+	}
+	if _, err := mpisim.Run(n, mpisim.DefaultParams(), sinks, func(r *mpisim.Rank) {
+		interp.Execute(prog, r)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]*ctt.RankCTT, n)
+	for i, c := range comps {
+		out[i] = c.Finish()
+	}
+	return out
+}
+
+// BenchCompressorEvent measures the full Compressor.Event hot path on a
+// mixed non-blocking stream (irecv/isend/wait ring). One op replays the
+// whole recorded stream into a fresh compressor.
+func BenchCompressorEvent(b *testing.B) {
+	tree, stream := mustStream(b, ringSrc, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ctt.NewCompressor(tree, 0, timestat.ModeMeanStddev)
+		stream.Replay(c)
+	}
+	b.ReportMetric(float64(stream.Events()), "events/op")
+}
+
+// BenchRecordMerge measures the run-length record-merge fast path: repeated
+// identical events folding into one record.
+func BenchRecordMerge(b *testing.B) {
+	tree, stream := mustStream(b, bcastSrc, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ctt.NewCompressor(tree, 0, timestat.ModeMeanStddev)
+		stream.Replay(c)
+	}
+	b.ReportMetric(float64(stream.Events()), "events/op")
+}
+
+// BenchMergePair measures the lockstep pairwise CTT merge.
+func BenchMergePair(b *testing.B) {
+	ctts := runRanks(b, stencilSrc, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merge.Pair(merge.FromRank(ctts[1]), merge.FromRank(ctts[2])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchEncode measures serialization of a merged tree.
+func BenchEncode(b *testing.B) {
+	ctts := runRanks(b, stencilSrc, 8)
+	m, err := merge.All(ctts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro is one registered microbenchmark.
+type Micro struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Micros returns the microbenchmark registry in stable order.
+func Micros() []Micro {
+	return []Micro{
+		{"CompressorEvent", BenchCompressorEvent},
+		{"RecordMerge", BenchRecordMerge},
+		{"MergePair", BenchMergePair},
+		{"Encode", BenchEncode},
+	}
+}
+
+// MicroResult is one benchmark outcome in the -benchjson output.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// RunMicros executes every microbenchmark via testing.Benchmark and returns
+// the results.
+func RunMicros() []MicroResult {
+	out := make([]MicroResult, 0, len(Micros()))
+	for _, m := range Micros() {
+		r := testing.Benchmark(m.Bench)
+		out = append(out, MicroResult{
+			Name:        m.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// WriteMicroJSON runs every microbenchmark and writes a JSON report.
+func WriteMicroJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(RunMicros())
+}

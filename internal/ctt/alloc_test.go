@@ -1,0 +1,107 @@
+package ctt
+
+import (
+	"testing"
+
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// TestEventSteadyStateAllocs pins the allocation-free hot path: once a comm
+// leaf's record exists, every further matching event must fold into it
+// without touching the heap. The budget is 1 alloc/op to absorb runtime
+// noise (GC assists, map growth in unrelated goroutines); the path itself is
+// designed for 0 and typically measures 0.
+//
+// The compressor is driven directly (no simulator) so AllocsPerRun sees only
+// Event-path allocations: one loop iteration marker, one comm-site marker,
+// one point-to-point event with constant parameters per step.
+func TestEventSteadyStateAllocs(t *testing.T) {
+	_, tree := compile(t, `
+func main() {
+	for var i = 0; i < 10; i = i + 1 {
+		send(1, 2048, 5);
+	}
+}`)
+	loop := tree.Root.Children[0]
+	leaf := findLeaf(tree, trace.OpSend)
+	if leaf == nil {
+		t.Fatal("no send leaf")
+	}
+	c := NewCompressor(tree, 0, timestat.ModeMeanStddev)
+	c.LoopEnter(int32(loop.Site))
+
+	tmpl := trace.Event{
+		Op: trace.OpSend, Peer: 1, Size: 2048, Tag: 5, Comm: 0,
+		ReqID: -1, DurationNS: 1500, ComputeNS: 100,
+	}
+	var evBuf trace.Event // hoisted: a loop-local copy would escape and be counted
+	step := func() {
+		c.LoopIter(int32(loop.Site))
+		c.CommSite(int32(leaf.Site))
+		evBuf = tmpl
+		c.Event(&evBuf)
+	}
+
+	// Warm up: first event creates the record, early iterations settle the
+	// stride runs and any one-time growth.
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(500, step)
+	if allocs > 1 {
+		t.Errorf("steady-state Event path allocates %.1f allocs/op, want <= 1", allocs)
+	}
+}
+
+// TestWildcardSteadyStateAllocs covers the other per-event storage path: the
+// wildcard-receive cache. Cached events land in recycled slots, so a
+// post-warm-up irecv(ANY)+wait cycle must also stay allocation-free.
+func TestWildcardSteadyStateAllocs(t *testing.T) {
+	_, tree := compile(t, `
+func main() {
+	for var i = 0; i < 10; i = i + 1 {
+		var r = irecv(ANY, 512, 3);
+		wait(r);
+	}
+}`)
+	loop := tree.Root.Children[0]
+	irecvLeaf := findLeaf(tree, trace.OpIrecv)
+	waitLeaf := findLeaf(tree, trace.OpWait)
+	if irecvLeaf == nil || waitLeaf == nil {
+		t.Fatal("missing leaves")
+	}
+	c := NewCompressor(tree, 0, timestat.ModeMeanStddev)
+	c.LoopEnter(int32(loop.Site))
+
+	nextReq := int32(0)
+	var evBuf trace.Event
+	reqBuf := make([]int32, 1)
+	srcBuf := make([]int32, 1)
+	step := func() {
+		id := nextReq
+		nextReq++
+		c.LoopIter(int32(loop.Site))
+		c.CommSite(int32(irecvLeaf.Site))
+		evBuf = trace.Event{
+			Op: trace.OpIrecv, Peer: 2, Size: 512, Tag: 3, Wildcard: true,
+			ReqID: id, DurationNS: 10,
+		}
+		c.Event(&evBuf)
+		c.CommSite(int32(waitLeaf.Site))
+		reqBuf[0] = id
+		srcBuf[0] = 2
+		evBuf = trace.Event{
+			Op: trace.OpWait, Peer: trace.NoPeer, ReqID: -1,
+			Reqs: reqBuf, ReqSrcs: srcBuf, DurationNS: 20,
+		}
+		c.Event(&evBuf)
+	}
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(500, step)
+	if allocs > 1 {
+		t.Errorf("steady-state wildcard irecv+wait allocates %.1f allocs/op, want <= 1", allocs)
+	}
+}

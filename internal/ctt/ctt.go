@@ -30,12 +30,15 @@ type CommRecord struct {
 	Ev      trace.Event
 	PeerRel int
 	Count   int64
-	Time    *timestat.Stat
+	// Time and Compute are embedded by value: a fresh record costs zero
+	// timestat heap allocations (timestat.Make), and records pack densely in
+	// the slab chunks below.
+	Time timestat.Stat
 	// Compute summarizes the sequential computation time preceding each
 	// folded event. The paper feeds SIM-MPI a separately-acquired
 	// computation time; recording it alongside the communication time keeps
 	// replayed traces simulation-ready (cf. Ratn et al. on preserving time).
-	Compute *timestat.Stat
+	Compute timestat.Stat
 	// RelEncoded is set by the inter-process merge when ranks were unified
 	// under the relative ranking encoding: the record's true peer for rank r
 	// is r + PeerRel, and Ev.Peer is no longer meaningful.
@@ -100,6 +103,46 @@ type VData struct {
 	// reach maps branch sites to their reach counters (stored on the parent
 	// vertex of the arms). Dropped after Finish; replay recomputes them.
 	reach map[lang.NodeID]int64
+	// slab backs the records pointed at by Records: records are carved out
+	// of chunked arrays instead of being allocated one by one, so appending
+	// a record costs one heap allocation per chunk instead of three per
+	// record (record + two stats) as the pointer-per-record layout did.
+	slab recordSlab
+}
+
+// recordChunkMax caps slab chunk growth.
+const recordChunkMax = 256
+
+// recordSlab is a per-vertex chunked arena for CommRecords. Chunks have
+// fixed capacity, so record pointers stay stable as the slab grows; chunk
+// sizes grow geometrically (2, 8, 32, 128, 256, 256, ...) so one-record
+// leaves — the common case — pay for two slots, while hot leaves amortize
+// allocation across hundreds of records.
+type recordSlab struct {
+	chunks [][]CommRecord
+}
+
+func (s *recordSlab) alloc() *CommRecord {
+	k := len(s.chunks)
+	if k == 0 || len(s.chunks[k-1]) == cap(s.chunks[k-1]) {
+		size := 2 << uint(2*k) // 2, 8, 32, 128, then capped
+		if size > recordChunkMax {
+			size = recordChunkMax
+		}
+		s.chunks = append(s.chunks, make([]CommRecord, 0, size))
+		k++
+	}
+	c := &s.chunks[k-1]
+	*c = append(*c, CommRecord{})
+	return &(*c)[len(*c)-1]
+}
+
+// NewRecord carves a zeroed record out of the vertex's slab and appends it
+// to Records. Callers fill in the fields afterwards.
+func (d *VData) NewRecord() *CommRecord {
+	r := d.slab.alloc()
+	d.Records = append(d.Records, r)
+	return r
 }
 
 // SizeBytes estimates the serialized footprint of the vertex data.
@@ -169,9 +212,14 @@ type Compressor struct {
 	stack  []frame
 	skip   int
 
-	site     int32 // pending comm site from CommSite
-	reqGID   map[int32]int32
-	wildcard map[int32]*trace.Event // cached wildcard irecv events by ReqID
+	site int32 // pending comm site from CommSite
+	// reqs maps outstanding request ids to poster GIDs and cached wildcard
+	// receives (ring-indexed dense table; see reqtable.go).
+	reqs reqTable
+	// reqScratch is the reusable buffer resolveCompletion rewrites request
+	// ids into; records that keep a Reqs slice copy it out on the (rare)
+	// new-record path, so the steady state is allocation-free.
+	reqScratch []int32
 
 	events   int64
 	finished bool
@@ -181,15 +229,13 @@ type Compressor struct {
 // the same tree (SPMD single-binary assumption).
 func NewCompressor(tree *cst.Tree, rank int, mode timestat.Mode) *Compressor {
 	return &Compressor{
-		tree:     tree,
-		rank:     rank,
-		mode:     mode,
-		window:   1,
-		data:     make([]VData, tree.NumVertices()),
-		cursor:   tree.Root,
-		site:     -1,
-		reqGID:   map[int32]int32{},
-		wildcard: map[int32]*trace.Event{},
+		tree:   tree,
+		rank:   rank,
+		mode:   mode,
+		window: 1,
+		data:   make([]VData, tree.NumVertices()),
+		cursor: tree.Root,
+		site:   -1,
 	}
 }
 
@@ -373,13 +419,13 @@ func (c *Compressor) Event(e *trace.Event) {
 	ev.GID = leaf.GID
 
 	if ev.Op.IsNonBlocking() {
-		c.reqGID[ev.ReqID] = leaf.GID
+		c.reqs.put(ev.ReqID, leaf.GID)
 		if ev.Op == trace.OpIrecv && ev.Wildcard {
 			// Paper Section IV-A, non-deterministic events: cache wildcard
 			// receives; compression is delayed until the checking function
-			// resolves the source.
-			cached := ev
-			c.wildcard[ev.ReqID] = &cached
+			// resolves the source. The cache copies the event into recycled
+			// slot storage, so repeated wildcard receives do not allocate.
+			c.reqs.putWild(ev.ReqID, &ev)
 			return
 		}
 	}
@@ -390,26 +436,29 @@ func (c *Compressor) Event(e *trace.Event) {
 }
 
 // resolveCompletion rewrites request ids to poster GIDs and flushes any
-// cached wildcard receives whose sources this completion resolved.
+// cached wildcard receives whose sources this completion resolved. The
+// rewritten ids land in a reusable scratch buffer; record() copies them out
+// only when a new record actually retains them.
 func (c *Compressor) resolveCompletion(ev *trace.Event) {
-	reqs := make([]int32, len(ev.Reqs))
+	if cap(c.reqScratch) < len(ev.Reqs) {
+		c.reqScratch = make([]int32, len(ev.Reqs), 2*len(ev.Reqs))
+	}
+	reqs := c.reqScratch[:len(ev.Reqs)]
 	for i, id := range ev.Reqs {
-		gid, ok := c.reqGID[id]
+		gid, ok := c.reqs.get(id)
 		if !ok {
 			panic(fmt.Sprintf("ctt: completion of unknown request %d", id))
 		}
 		reqs[i] = gid
-		if cached, isWild := c.wildcard[id]; isWild {
+		if cached, isWild := c.reqs.takeWild(id); isWild {
 			if ev.ReqSrcs == nil {
 				panic("ctt: wildcard completion without resolved sources")
 			}
-			resolved := *cached
-			resolved.Peer = int(ev.ReqSrcs[i])
-			delete(c.wildcard, id)
-			leaf := c.tree.ByGID[resolved.GID]
-			c.record(leaf, &resolved)
+			cached.Peer = int(ev.ReqSrcs[i])
+			leaf := c.tree.ByGID[cached.GID]
+			c.record(leaf, &cached)
 		}
-		delete(c.reqGID, id)
+		c.reqs.del(id)
 	}
 	ev.Reqs = reqs
 	// Resolved sources live on the receive records; dropping them from the
@@ -470,11 +519,20 @@ func (c *Compressor) record(v *cst.Vertex, ev *trace.Event) {
 			}
 		}
 	}
-	st := timestat.New(c.mode)
-	st.Add(dur)
-	cst := timestat.New(timestat.ModeMeanStddev)
-	cst.Add(comp)
-	d.Records = append(d.Records, &CommRecord{Ev: canon, PeerRel: rel, Count: 1, Time: st, Compute: cst})
+	rec := d.NewRecord()
+	rec.Ev = canon
+	if len(canon.Reqs) > 0 {
+		// canon.Reqs may alias the compressor's completion scratch buffer;
+		// a retained record must own its copy. New records are rare (cold
+		// path), so this copy does not affect steady-state allocation.
+		rec.Ev.Reqs = append([]int32(nil), canon.Reqs...)
+	}
+	rec.PeerRel = rel
+	rec.Count = 1
+	rec.Time = timestat.Make(c.mode)
+	rec.Time.Add(dur)
+	rec.Compute = timestat.Make(timestat.ModeMeanStddev)
+	rec.Compute.Add(comp)
 	d.tryOpenCycle(&d.cyc)
 }
 
@@ -483,8 +541,8 @@ func (c *Compressor) Finalize() {
 	if len(c.stack) != 0 || c.skip != 0 {
 		panic(fmt.Sprintf("ctt: finalize with %d open structures (skip=%d)", len(c.stack), c.skip))
 	}
-	if len(c.wildcard) != 0 {
-		panic(fmt.Sprintf("ctt: finalize with %d unresolved wildcard receives", len(c.wildcard)))
+	if c.reqs.wildLive != 0 {
+		panic(fmt.Sprintf("ctt: finalize with %d unresolved wildcard receives", c.reqs.wildLive))
 	}
 	c.finished = true
 }
@@ -525,7 +583,7 @@ func (c *Compressor) MemoryBytes() int64 {
 		n += int64(len(c.data[i].reach)) * 16
 	}
 	n += int64(len(c.stack)) * 24
-	n += int64(len(c.reqGID)) * 8
-	n += int64(len(c.wildcard)) * 96
+	n += c.reqs.memoryBytes()
+	n += int64(cap(c.reqScratch)) * 4
 	return n
 }

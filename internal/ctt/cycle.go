@@ -94,11 +94,13 @@ func (d *VData) closeCycle(cs *cycleState) {
 	// block records; the copies carry mean-seeded stats so sample counts
 	// stay consistent with occurrence counts.
 	appendPartial := func(src *CommRecord, count int64) {
-		cp := &CommRecord{Ev: src.Ev, PeerRel: src.PeerRel, Count: count,
-			RelEncoded: src.RelEncoded}
-		cp.Time = meanSeeded(src.Time, count)
-		cp.Compute = meanSeeded(src.Compute, count)
-		d.Records = append(d.Records, cp)
+		cp := d.NewRecord()
+		cp.Ev = src.Ev
+		cp.PeerRel = src.PeerRel
+		cp.Count = count
+		cp.RelEncoded = src.RelEncoded
+		cp.Time = timestat.MeanSeeded(src.Time.Mean, count)
+		cp.Compute = timestat.MeanSeeded(src.Compute.Mean, count)
 	}
 	for i := 0; i < oc.pos; i++ {
 		src := d.Records[oc.start+i]
@@ -143,12 +145,12 @@ func (d *VData) tryOpenCycle(cs *cycleState) {
 		// the first occurrence of repetition three.
 		for i := 0; i < k; i++ {
 			x, y := d.Records[start+i], d.Records[start+k+i]
-			x.Time.Merge(y.Time)
-			x.Compute.Merge(y.Compute)
+			x.Time.Merge(&y.Time)
+			x.Compute.Merge(&y.Compute)
 		}
 		// newest's single occurrence folds into the block head.
-		d.Records[start].Time.Merge(newest.Time)
-		d.Records[start].Compute.Merge(newest.Compute)
+		d.Records[start].Time.Merge(&newest.Time)
+		d.Records[start].Compute.Merge(&newest.Compute)
 		d.Records = d.Records[:start+k]
 		oc := &openCycle{start: start, length: k, reps: 2, pos: 0, occ: 1}
 		if d.Records[start].Count == 1 {
@@ -162,14 +164,4 @@ func (d *VData) tryOpenCycle(cs *cycleState) {
 		cs.open = oc
 		return
 	}
-}
-
-// meanSeeded builds a stat with n samples at the source's mean.
-func meanSeeded(src *timestat.Stat, n int64) *timestat.Stat {
-	st := timestat.New(timestat.ModeMeanStddev)
-	st.N = n
-	st.Mean = src.Mean
-	st.Min = src.Mean
-	st.Max = src.Mean
-	return st
 }

@@ -1,5 +1,38 @@
 package ctt
 
+import "sync"
+
+// peerBufPool recycles the transient int32 buffers of pattern detection: the
+// raw occurrence buffer (alive from conversion until Compress) and the KMP
+// failure-function scratch (alive only during Compress). Both are bounded by
+// convertLimit-scale sizes and are dropped the moment a pattern is found, so
+// without pooling every pattern-bearing record costs two short-lived slices.
+var peerBufPool = sync.Pool{
+	New: func() any { return new([]int32) },
+}
+
+// getPeerBuf returns a length-n buffer with UNSPECIFIED contents; callers
+// must overwrite every element they read.
+func getPeerBuf(n int) []int32 {
+	bp := peerBufPool.Get().(*[]int32)
+	b := *bp
+	if cap(b) < n {
+		b = make([]int32, n)
+	}
+	return b[:n]
+}
+
+// putPeerBuf recycles a buffer obtained from getPeerBuf (or grown from one by
+// append). Oversized buffers are dropped so one pathological record does not
+// pin its high-water mark.
+func putPeerBuf(b []int32) {
+	if cap(b) == 0 || cap(b) > 4*convertLimit {
+		return
+	}
+	b = b[:0]
+	peerBufPool.Put(&b)
+}
+
 // PeerPattern compresses the peer sequence of a comm leaf whose occurrences
 // alternate among several peers in a repeating order — the butterfly
 // exchanges of CG (partner = rank ± 2^level) and the level-dependent
@@ -29,7 +62,7 @@ func newPeerPattern(rel int32, count int64) *PeerPattern {
 	if count > convertLimit {
 		return nil
 	}
-	raw := make([]int32, count)
+	raw := getPeerBuf(int(count))
 	for i := range raw {
 		raw[i] = rel
 	}
@@ -52,10 +85,12 @@ func (p *PeerPattern) Compress() {
 	p.compressed = true
 	if n == 0 {
 		p.Period = nil
+		putPeerBuf(p.raw)
 		p.raw = nil
 		return
 	}
-	fail := make([]int, n)
+	fail := getPeerBuf(n)
+	fail[0] = 0 // pooled buffer arrives with unspecified contents
 	for i := 1; i < n; i++ {
 		k := fail[i-1]
 		for k > 0 && p.raw[i] != p.raw[k] {
@@ -66,12 +101,14 @@ func (p *PeerPattern) Compress() {
 		}
 		fail[i] = k
 	}
-	period := n - fail[n-1]
+	period := n - int(fail[n-1])
+	putPeerBuf(fail)
 	// The failure-function period only generates the sequence cyclically
 	// when every position satisfies raw[i] == raw[i mod period]; the KMP
 	// border guarantees raw[i] == raw[i-period] for i >= period, which is
 	// the same condition, so period is always valid here.
 	p.Period = append([]int32(nil), p.raw[:period]...)
+	putPeerBuf(p.raw)
 	p.raw = nil
 }
 

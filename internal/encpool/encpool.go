@@ -1,0 +1,76 @@
+// Package encpool provides shared sync.Pools for the encode-side allocation
+// hot spots: gzip writers (whose Reset makes them fully reusable but whose
+// construction allocates ~1.4MB of deflate state), bufio writers, and byte
+// buffers. Measure's per-rank artifact finishing constructs one gzip stream
+// per rank per method; pooling turns that from P allocator round-trips per
+// cell into a handful of long-lived objects shared across the run.
+package encpool
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"io"
+	"sync"
+)
+
+var gzipPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// GetGzip returns a pooled gzip writer reset to stream into w.
+func GetGzip(w io.Writer) *gzip.Writer {
+	gz := gzipPool.Get().(*gzip.Writer)
+	gz.Reset(w)
+	return gz
+}
+
+// PutGzip returns a gzip writer to the pool. The caller must have Closed (or
+// otherwise finished with) it; the next GetGzip resets all state.
+func PutGzip(gz *gzip.Writer) {
+	if gz != nil {
+		gzipPool.Put(gz)
+	}
+}
+
+const bufioSize = 1 << 16
+
+var bufioPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, bufioSize) },
+}
+
+// GetBufio returns a pooled 64KB bufio.Writer reset to w.
+func GetBufio(w io.Writer) *bufio.Writer {
+	bw := bufioPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+// PutBufio returns a bufio writer to the pool. The caller must have Flushed;
+// Reset on reuse discards any unflushed state.
+func PutBufio(bw *bufio.Writer) {
+	if bw != nil {
+		bw.Reset(io.Discard)
+		bufioPool.Put(bw)
+	}
+}
+
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// GetBuffer returns a pooled empty bytes.Buffer.
+func GetBuffer() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer to the pool. Oversized buffers are dropped so a
+// single huge encode does not pin its high-water mark forever.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > 1<<22 {
+		return
+	}
+	bufPool.Put(b)
+}

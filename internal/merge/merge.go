@@ -173,37 +173,31 @@ func unify(a, b *ctt.VData, rel []bool) {
 		if rel[i] {
 			a.Records[i].RelEncoded = true
 		}
-		a.Records[i].Time.Merge(b.Records[i].Time)
-		a.Records[i].Compute.Merge(b.Records[i].Compute)
+		a.Records[i].Time.Merge(&b.Records[i].Time)
+		a.Records[i].Compute.Merge(&b.Records[i].Compute)
 	}
 }
 
 // AllNoRelative is All with the relative-ranking encoding disabled, for the
-// ablation benchmark quantifying how much that encoding contributes.
+// ablation benchmark quantifying how much that encoding contributes. It uses
+// the same parallel binary reduction as All, so the ablation isolates the
+// encoding's effect rather than also changing the merge schedule.
 func AllNoRelative(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
-	if len(ctts) == 0 {
-		return nil, fmt.Errorf("merge: no trees")
-	}
-	ms := make([]*Merged, len(ctts))
-	for i, c := range ctts {
-		ms[i] = FromRank(c)
-		ms[i].noRel = true
-	}
-	acc := ms[0]
-	for _, m := range ms[1:] {
-		var err error
-		acc, err = Pair(acc, m)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return acc, nil
+	return all(ctts, workers, true)
 }
 
 // All merges the per-rank trees of a job into one tree using a parallel
 // binary reduction (paper: "We can use a parallel algorithm to merge all the
 // CTTs", giving O(n log P)). workers <= 0 uses GOMAXPROCS.
 func All(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
+	return all(ctts, workers, false)
+}
+
+// all is the shared reduction behind All and AllNoRelative. A bounded
+// semaphore admits at most `workers` concurrent goroutines; when the
+// semaphore is saturated the left half is reduced inline, so the recursion
+// degrades gracefully to the serial schedule instead of blocking.
+func all(ctts []*ctt.RankCTT, workers int, noRel bool) (*Merged, error) {
 	if len(ctts) == 0 {
 		return nil, fmt.Errorf("merge: no trees")
 	}
@@ -213,6 +207,7 @@ func All(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
 	ms := make([]*Merged, len(ctts))
 	for i, c := range ctts {
 		ms[i] = FromRank(c)
+		ms[i].noRel = noRel
 	}
 	sem := make(chan struct{}, workers)
 	var reduce func(lo, hi int) (*Merged, error)
@@ -332,7 +327,7 @@ func (m *Merged) statMode() timestat.Mode {
 	for _, es := range m.Entries {
 		for _, e := range es {
 			for _, r := range e.Data.Records {
-				if r.Time != nil && r.Time.Hist != nil {
+				if r.Time.Hist != nil {
 					return timestat.ModeHistogram
 				}
 				return timestat.ModeMeanStddev

@@ -2,8 +2,6 @@ package merge
 
 import (
 	"bufio"
-	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -11,6 +9,7 @@ import (
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
+	"repro/internal/encpool"
 	"repro/internal/rankset"
 	"repro/internal/stride"
 	"repro/internal/timestat"
@@ -60,10 +59,15 @@ func (w *writer) runs(rs []stride.Run) {
 	}
 }
 
-// Encode writes the merged tree to w and returns the byte count.
+// Encode writes the merged tree to w and returns the byte count. The bufio
+// writer and CST staging buffer come from shared pools, so repeated encodes
+// (per-cell artifact finishing in the bench harness) do not re-allocate 64KB
+// of buffering each time.
 func (m *Merged) Encode(out io.Writer) (int64, error) {
 	cw := &countingWriter{w: out}
-	w := &writer{w: bufio.NewWriterSize(cw, 1<<16)}
+	bw := encpool.GetBufio(cw)
+	defer encpool.PutBufio(bw)
+	w := &writer{w: bw}
 	if _, err := cw.Write(fileMagic[:]); err != nil {
 		return 0, err
 	}
@@ -78,8 +82,9 @@ func (m *Merged) Encode(out io.Writer) (int64, error) {
 		w.u(0)
 	}
 	// Embed the CST text form, length-prefixed.
-	var treeBuf bytes.Buffer
-	if err := m.Tree.Encode(&treeBuf); err != nil {
+	treeBuf := encpool.GetBuffer()
+	defer encpool.PutBuffer(treeBuf)
+	if err := m.Tree.Encode(treeBuf); err != nil {
 		return 0, err
 	}
 	w.u(uint64(treeBuf.Len()))
@@ -179,9 +184,11 @@ func encodeVData(w *writer, d *ctt.VData, hist bool) {
 }
 
 // EncodeGzip writes the gzip-compressed form and returns the byte count.
+// The gzip writer is pooled.
 func (m *Merged) EncodeGzip(out io.Writer) (int64, error) {
 	cw := &countingWriter{w: out}
-	gz := gzip.NewWriter(cw)
+	gz := encpool.GetGzip(cw)
+	defer encpool.PutGzip(gz)
 	if _, err := m.Encode(gz); err != nil {
 		return 0, err
 	}
@@ -319,7 +326,9 @@ func decodeVData(r *reader, d *ctt.VData, mode timestat.Mode) {
 		return
 	}
 	for k := uint64(0); k < n; k++ {
-		rec := &ctt.CommRecord{}
+		// Records decode straight into the vertex's chunked slab, matching
+		// the runtime layout (and its allocation economics).
+		rec := d.NewRecord()
 		rec.Ev.Op = trace.Op(r.u())
 		flags := r.u()
 		rec.Ev.Wildcard = flags&1 != 0
@@ -356,16 +365,13 @@ func decodeVData(r *reader, d *ctt.VData, mode timestat.Mode) {
 			}
 			rec.Peers = &ctt.PeerPattern{Period: period}
 		}
-		st := timestat.New(mode)
+		st := timestat.Make(mode)
 		st.N = int64(r.u())
 		st.Mean = r.f()
 		_ = r.f() // stddev is recomputable only approximately; keep mean/min/max
 		st.Min = r.f()
 		st.Max = r.f()
-		comp := timestat.New(timestat.ModeMeanStddev)
-		comp.N = st.N
-		comp.Mean = r.f()
-		rec.Compute = comp
+		rec.Compute = timestat.MeanSeeded(r.f(), st.N)
 		if mode == timestat.ModeHistogram {
 			nz := r.u()
 			if r.err != nil || nz > timestat.HistBuckets {
@@ -383,6 +389,5 @@ func decodeVData(r *reader, d *ctt.VData, mode timestat.Mode) {
 			}
 		}
 		rec.Time = st
-		d.Records = append(d.Records, rec)
 	}
 }

@@ -1,0 +1,140 @@
+package merge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/replay"
+)
+
+// TestAllWorkerEdges exercises the bounded-semaphore reduction at its edge
+// configurations: workers=0 (GOMAXPROCS default), workers=1 (fully inline
+// recursion), and workers far beyond both the rank count and any sensible
+// core count. Every configuration must produce a tree replay-equivalent to
+// the serial schedule. Pair consumes its operands, so each configuration
+// merges a freshly collected set of CTTs.
+func TestAllWorkerEdges(t *testing.T) {
+	const n = 12
+	_, refCtts, _ := collect(t, jacobiSrc, n)
+	ref, err := Serial(refCtts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 64} {
+		_, ctts, _ := collect(t, jacobiSrc, n)
+		m, err := All(ctts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if m.NumRanks != n || m.EventCount != ref.EventCount {
+			t.Fatalf("workers=%d: header %d ranks / %d events, want %d / %d",
+				workers, m.NumRanks, m.EventCount, n, ref.EventCount)
+		}
+		if m.GroupCount() != ref.GroupCount() {
+			t.Fatalf("workers=%d: group count %d, want %d", workers, m.GroupCount(), ref.GroupCount())
+		}
+		for rank := 0; rank < n; rank++ {
+			a, err := replay.Sequence(m.ForRank(rank), rank)
+			if err != nil {
+				t.Fatalf("workers=%d rank %d: %v", workers, rank, err)
+			}
+			b, err := replay.Sequence(ref.ForRank(rank), rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := replay.Equivalent(a, b); err != nil {
+				t.Fatalf("workers=%d rank %d: %v", workers, rank, err)
+			}
+		}
+	}
+}
+
+// TestAllSingleRank checks the reduction's base case: one rank means no Pair
+// call at all, under both All and AllNoRelative.
+func TestAllSingleRank(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 1)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRanks != 1 {
+		t.Fatalf("NumRanks = %d, want 1", m.NumRanks)
+	}
+	_, ctts2, _ := collect(t, jacobiSrc, 1)
+	m2, err := AllNoRelative(ctts2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumRanks != 1 || m2.GroupCount() != m.GroupCount() {
+		t.Fatalf("AllNoRelative single rank: %d ranks, %d groups (want %d)",
+			m2.NumRanks, m2.GroupCount(), m.GroupCount())
+	}
+}
+
+// TestAllEmptyInput checks that both entry points reject an empty job.
+func TestAllEmptyInput(t *testing.T) {
+	if _, err := All(nil, 0); err == nil {
+		t.Fatal("All(nil) succeeded")
+	}
+	if _, err := AllNoRelative(nil, 4); err == nil {
+		t.Fatal("AllNoRelative(nil) succeeded")
+	}
+}
+
+// TestAllHashMismatchPropagates runs the parallel reduction over CTTs from
+// two different programs and requires the CST-hash error to surface from
+// whatever goroutine hit it, for every worker setting.
+func TestAllHashMismatchPropagates(t *testing.T) {
+	const n = 8
+	for _, workers := range []int{0, 1, 32} {
+		_, a, _ := collect(t, jacobiSrc, n)
+		_, b, _ := collect(t, `func main() { allreduce(8); }`, n)
+		mixed := append(a[:n/2:n/2], b[n/2:]...)
+		_, err := All(mixed, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: merged CTTs from different programs", workers)
+		}
+		if !strings.Contains(err.Error(), "hash mismatch") {
+			t.Fatalf("workers=%d: error %q does not mention the hash mismatch", workers, err)
+		}
+	}
+}
+
+// TestAllNoRelativeParallelMatchesSerialSchedule verifies that running the
+// ablation through the parallel reduction does not change its outcome: the
+// noRel flag must reach every Pair regardless of schedule.
+func TestAllNoRelativeParallelMatchesSerialSchedule(t *testing.T) {
+	const n = 8
+	src := `
+func main() {
+	for var k = 0; k < 6; k = k + 1 {
+		if rank < size - 1 { send(rank + 1, 256, 0); }
+		if rank > 0 { recv(rank - 1, 256, 0); }
+	}
+}`
+	_, ctts1, _ := collect(t, src, n)
+	one, err := AllNoRelative(ctts1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ctts2, _ := collect(t, src, n)
+	many, err := AllNoRelative(ctts2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.GroupCount() != many.GroupCount() {
+		t.Fatalf("ablation group count depends on workers: %d vs %d",
+			one.GroupCount(), many.GroupCount())
+	}
+	// And the ablation must actually differ from the relative-enabled merge:
+	// absolute peers differ across ranks, so groups cannot unify.
+	_, ctts3, _ := collect(t, src, n)
+	rel, err := All(ctts3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.GroupCount() <= rel.GroupCount() {
+		t.Fatalf("noRel groups (%d) should exceed relative-encoding groups (%d)",
+			one.GroupCount(), rel.GroupCount())
+	}
+}

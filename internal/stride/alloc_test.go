@@ -1,0 +1,61 @@
+package stride
+
+import "testing"
+
+// TestAppendConstantStrideNoAlloc pins the inline representation: a vector
+// whose values follow one arithmetic progression stays in the inline run
+// array, so steady-state Append must not allocate at all. This is the shape
+// loop-count vectors take in SPMD programs (every activation runs the same
+// trip count), i.e. the compressor's common case.
+func TestAppendConstantStrideNoAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		next func(i int64) int64
+	}{
+		{"constant", func(int64) int64 { return 7 }},
+		{"arithmetic", func(i int64) int64 { return 100 + 3*i }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var v Vector
+			i := int64(0)
+			step := func() {
+				v.Append(tc.next(i))
+				i++
+			}
+			step() // first append opens the run
+			step() // second fixes the stride
+			allocs := testing.AllocsPerRun(1000, step)
+			if allocs != 0 {
+				t.Errorf("steady-state Append allocates %.1f allocs/op, want 0", allocs)
+			}
+			if v.Len() != i {
+				t.Fatalf("Len = %d, want %d", v.Len(), i)
+			}
+			if got := v.At(v.Len() - 1); got != tc.next(i-1) {
+				t.Fatalf("At(last) = %d, want %d", got, tc.next(i-1))
+			}
+		})
+	}
+}
+
+// TestSetAddSequentialNoAlloc covers the Set wrapper: a branch arm taken on
+// every activation records the activation indices 0,1,2,... — one stride-1
+// run — so steady-state Add must stay allocation-free.
+func TestSetAddSequentialNoAlloc(t *testing.T) {
+	var s Set
+	i := int64(0)
+	step := func() {
+		s.Add(i)
+		i++
+	}
+	step()
+	step()
+	allocs := testing.AllocsPerRun(1000, step)
+	if allocs != 0 {
+		t.Errorf("sequential Set.Add allocates %.1f allocs/op, want 0", allocs)
+	}
+	if !s.Contains(0) || !s.Contains(i-1) || s.Contains(i) {
+		t.Fatal("set contents wrong")
+	}
+}

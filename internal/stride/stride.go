@@ -6,6 +6,11 @@
 // with a constant difference collapse into a single run. Appending is O(1)
 // amortized, random access is O(log r) in the number of runs, and two vectors
 // compare in O(r) time.
+//
+// Vectors carry a small inline run buffer: sequences that compress to at most
+// inlineRuns runs (the overwhelmingly common case — a loop vertex whose trip
+// count never changes is exactly one run) never touch the heap. The runs
+// spill to a heap slice only when the sequence needs more runs.
 package stride
 
 import (
@@ -34,31 +39,82 @@ func (r Run) At(i int64) int64 {
 	return r.First + i*r.Stride
 }
 
+// inlineRuns is the number of runs stored inline before spilling to the heap.
+const inlineRuns = 2
+
 // Vector is an append-only integer sequence stored as stride runs.
 // The zero value is an empty vector ready for use.
+//
+// Copying a Vector whose runs are still inline yields an independent vector;
+// once spilled, copies share the heap run storage (as the pre-inline
+// implementation always did), so treat copies as read-only views.
 type Vector struct {
-	runs   []Run
+	inl    [inlineRuns]Run
+	heap   []Run   // non-nil once the sequence needs more than inlineRuns runs
+	nr     int32   // number of runs (in inl[:nr] or heap, never both)
 	n      int64   // total number of values
 	prefix []int64 // prefix[i] = number of values in runs[:i]; lazily rebuilt
 	dirty  bool    // prefix out of date
 }
 
+// view returns the current runs without copying. The slice aliases either the
+// inline buffer or the heap storage and is invalidated by the next mutation.
+func (v *Vector) view() []Run {
+	if v.heap != nil {
+		return v.heap
+	}
+	return v.inl[:v.nr]
+}
+
+// lastRun returns a pointer to the final run. Caller guarantees nr > 0.
+func (v *Vector) lastRun() *Run {
+	if v.heap != nil {
+		return &v.heap[len(v.heap)-1]
+	}
+	return &v.inl[v.nr-1]
+}
+
+// pushRun appends a run, spilling inline storage to the heap when full.
+func (v *Vector) pushRun(r Run) {
+	if v.heap == nil {
+		if int(v.nr) < inlineRuns {
+			v.inl[v.nr] = r
+			v.nr++
+			return
+		}
+		v.heap = make([]Run, v.nr, 2*inlineRuns+2)
+		copy(v.heap, v.inl[:v.nr])
+	}
+	v.heap = append(v.heap, r)
+	v.nr++
+}
+
+// popRun removes the final run. Caller guarantees nr > 0.
+func (v *Vector) popRun() {
+	v.nr--
+	if v.heap != nil {
+		v.heap = v.heap[:v.nr]
+	}
+}
+
 // Len returns the number of logical values stored.
 func (v *Vector) Len() int64 { return v.n }
 
-// Runs returns the underlying runs. The slice must not be modified.
-func (v *Vector) Runs() []Run { return v.runs }
+// Runs returns the underlying runs. The slice must not be modified and is
+// valid only until the next mutation of the vector.
+func (v *Vector) Runs() []Run { return v.view() }
 
 // Append adds x to the end of the sequence, extending the final run when x
-// continues its arithmetic progression.
+// continues its arithmetic progression. Appends that extend a run — every
+// append after the second in a constant-stride sequence — are allocation-free.
 func (v *Vector) Append(x int64) {
 	v.n++
 	v.dirty = true
-	if len(v.runs) == 0 {
-		v.runs = append(v.runs, Run{First: x, Count: 1})
+	if v.nr == 0 {
+		v.pushRun(Run{First: x, Count: 1})
 		return
 	}
-	last := &v.runs[len(v.runs)-1]
+	last := v.lastRun()
 	switch last.Count {
 	case 1:
 		// A singleton can adopt any stride.
@@ -71,7 +127,7 @@ func (v *Vector) Append(x int64) {
 			return
 		}
 	}
-	v.runs = append(v.runs, Run{First: x, Count: 1})
+	v.pushRun(Run{First: x, Count: 1})
 }
 
 // AppendRun adds an explicit run to the end of the sequence. It is used when
@@ -83,14 +139,14 @@ func (v *Vector) AppendRun(r Run) {
 	}
 	v.n += r.Count
 	v.dirty = true
-	if len(v.runs) > 0 {
-		last := &v.runs[len(v.runs)-1]
+	if v.nr > 0 {
+		last := v.lastRun()
 		if last.Stride == r.Stride && last.Last()+last.Stride == r.First {
 			last.Count += r.Count
 			return
 		}
 	}
-	v.runs = append(v.runs, r)
+	v.pushRun(r)
 }
 
 func (v *Vector) rebuild() {
@@ -99,7 +155,7 @@ func (v *Vector) rebuild() {
 	}
 	v.prefix = v.prefix[:0]
 	var c int64
-	for _, r := range v.runs {
+	for _, r := range v.view() {
 		v.prefix = append(v.prefix, c)
 		c += r.Count
 	}
@@ -111,11 +167,11 @@ func (v *Vector) SetLast(x int64) {
 	if v.n == 0 {
 		panic("stride: SetLast on empty vector")
 	}
-	last := &v.runs[len(v.runs)-1]
+	last := v.lastRun()
 	last.Count--
 	v.n--
 	if last.Count == 0 {
-		v.runs = v.runs[:len(v.runs)-1]
+		v.popRun()
 	}
 	v.dirty = true
 	v.Append(x)
@@ -129,13 +185,13 @@ func (v *Vector) At(i int64) int64 {
 	v.rebuild()
 	// Find the run containing index i.
 	k := sort.Search(len(v.prefix), func(j int) bool { return v.prefix[j] > i }) - 1
-	return v.runs[k].At(i - v.prefix[k])
+	return v.view()[k].At(i - v.prefix[k])
 }
 
 // Values materializes the full sequence. Intended for tests and small dumps.
 func (v *Vector) Values() []int64 {
 	out := make([]int64, 0, v.n)
-	for _, r := range v.runs {
+	for _, r := range v.view() {
 		for i := int64(0); i < r.Count; i++ {
 			out = append(out, r.At(i))
 		}
@@ -147,11 +203,12 @@ func (v *Vector) Values() []int64 {
 // encoders are canonical for the same input order, run-wise comparison
 // suffices for vectors built through Append.
 func (v *Vector) Equal(o *Vector) bool {
-	if v.n != o.n || len(v.runs) != len(o.runs) {
+	if v.n != o.n || v.nr != o.nr {
 		return false
 	}
-	for i, r := range v.runs {
-		q := o.runs[i]
+	vr, or := v.view(), o.view()
+	for i, r := range vr {
+		q := or[i]
 		if r.First != q.First || r.Count != q.Count {
 			return false
 		}
@@ -166,7 +223,7 @@ func (v *Vector) Equal(o *Vector) bool {
 // beneath a loop vertex.
 func (v *Vector) Sum() int64 {
 	var s int64
-	for _, r := range v.runs {
+	for _, r := range v.view() {
 		// Sum of arithmetic series: n*first + stride*(0+1+...+(n-1)).
 		s += r.Count*r.First + r.Stride*(r.Count-1)*r.Count/2
 	}
@@ -176,13 +233,13 @@ func (v *Vector) Sum() int64 {
 // SizeBytes estimates the serialized footprint: three varint-ish words per
 // run. The constant 8 is a deliberate upper-bound per word so that size
 // comparisons between compressors are conservative for CYPRESS.
-func (v *Vector) SizeBytes() int64 { return int64(len(v.runs)) * 24 }
+func (v *Vector) SizeBytes() int64 { return int64(v.nr) * 24 }
 
 // String renders the vector in the paper's tuple notation.
 func (v *Vector) String() string {
 	var b strings.Builder
 	b.WriteByte('[')
-	for i, r := range v.runs {
+	for i, r := range v.view() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
@@ -205,7 +262,7 @@ type Set struct {
 // Add inserts x, which must be greater than every element already present.
 func (s *Set) Add(x int64) {
 	if s.n > 0 {
-		last := s.runs[len(s.runs)-1].Last()
+		last := s.lastRun().Last()
 		if x <= last {
 			panic(fmt.Sprintf("stride: Set.Add out of order: %d after %d", x, last))
 		}
@@ -216,10 +273,11 @@ func (s *Set) Add(x int64) {
 // Contains reports whether x is in the set using binary search over runs.
 func (s *Set) Contains(x int64) bool {
 	// Runs are in increasing order of First for a strictly increasing set.
-	lo, hi := 0, len(s.runs)-1
+	runs := s.view()
+	lo, hi := 0, len(runs)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		r := s.runs[mid]
+		r := runs[mid]
 		switch {
 		case x < r.First:
 			hi = mid - 1

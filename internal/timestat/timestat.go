@@ -37,13 +37,46 @@ type Stat struct {
 	Hist []uint32 // nil unless histogram mode
 }
 
-// New returns a Stat in the given mode.
+// New returns a heap-allocated Stat in the given mode. Hot paths that embed
+// stats by value should use Make or Init instead, which allocate nothing in
+// ModeMeanStddev.
 func New(mode Mode) *Stat {
-	s := &Stat{Min: math.Inf(1), Max: math.Inf(-1)}
-	if mode == ModeHistogram {
-		s.Hist = make([]uint32, HistBuckets)
-	}
+	s := &Stat{}
+	s.Init(mode)
 	return s
+}
+
+// Make returns a ready-to-use Stat value. In ModeMeanStddev it performs no
+// heap allocation, which is what lets trace records embed their accumulators
+// by value instead of pointing at two heap objects per record.
+func Make(mode Mode) Stat {
+	var s Stat
+	s.Init(mode)
+	return s
+}
+
+// Init (re)initializes s in place for the given mode, reusing an existing
+// histogram buffer when present.
+func (s *Stat) Init(mode Mode) {
+	hist := s.Hist
+	*s = Stat{Min: math.Inf(1), Max: math.Inf(-1)}
+	if mode == ModeHistogram {
+		if hist != nil {
+			for i := range hist {
+				hist[i] = 0
+			}
+			s.Hist = hist
+		} else {
+			s.Hist = make([]uint32, HistBuckets)
+		}
+	}
+}
+
+// MeanSeeded returns a value-mode stat holding n samples pinned at mean, used
+// when materializing partial cycle repetitions whose true samples were folded
+// into the block records.
+func MeanSeeded(mean float64, n int64) Stat {
+	return Stat{N: n, Mean: mean, Min: mean, Max: mean}
 }
 
 // Add records one duration in nanoseconds.

@@ -47,6 +47,10 @@ func BenchmarkCompressorEvent(b *testing.B) { bench.BenchCompressorEvent(b) }
 func BenchmarkRecordMerge(b *testing.B)     { bench.BenchRecordMerge(b) }
 func BenchmarkMergePair(b *testing.B)       { bench.BenchMergePair(b) }
 func BenchmarkEncode(b *testing.B)          { bench.BenchEncode(b) }
+func BenchmarkMergeAll256(b *testing.B)     { bench.BenchMergeAll256(b) }
+func BenchmarkMergeAll1024(b *testing.B)    { bench.BenchMergeAll1024(b) }
+func BenchmarkMergeAll4096(b *testing.B)    { bench.BenchMergeAll4096(b) }
+func BenchmarkDecode(b *testing.B)          { bench.BenchDecode(b) }
 
 // BenchmarkPipelineCompile measures the static analysis module end to end
 // (parse, check, lower, CFG analyses, CST build) on the largest skeleton.

@@ -7,6 +7,7 @@ package bench
 // regression comparisons.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -91,8 +92,12 @@ func (s *SinkStream) Replay(dst trace.Sink) {
 // recorder captures the sink calls of one rank.
 type recorder struct{ s SinkStream }
 
-func (r *recorder) LoopEnter(site int32) { r.s.ops = append(r.s.ops, sinkOp{kind: kLoopEnter, site: site}) }
-func (r *recorder) LoopIter(site int32)  { r.s.ops = append(r.s.ops, sinkOp{kind: kLoopIter, site: site}) }
+func (r *recorder) LoopEnter(site int32) {
+	r.s.ops = append(r.s.ops, sinkOp{kind: kLoopEnter, site: site})
+}
+func (r *recorder) LoopIter(site int32) {
+	r.s.ops = append(r.s.ops, sinkOp{kind: kLoopIter, site: site})
+}
 func (r *recorder) BranchEnter(site int32, arm int8) {
 	r.s.ops = append(r.s.ops, sinkOp{kind: kBranchEnter, site: site, arm: arm})
 }
@@ -282,6 +287,129 @@ func BenchEncode(b *testing.B) {
 	}
 }
 
+// spmdSrc is the program shape behind the large-rank merge benchmarks: an
+// open-chain stencil whose peers are rank-relative constants plus one
+// collective. Driven directly (see spmdCTTs), every rank's tree is identical
+// modulo the relative peer encoding — the SPMD uniformity the fingerprint
+// merge fast path exploits.
+const spmdSrc = `
+func main() {
+	for var k = 0; k < 24; k = k + 1 {
+		send(rank + 1, 4096, 7);
+		recv(rank + size - 1, 4096, 7);
+	}
+	allreduce(8);
+}`
+
+// spmdCTTs builds n per-rank CTTs by driving each rank's compressor directly
+// with a synthetic identical-SPMD event stream — no simulator, so merge
+// benchmarks scale to thousands of ranks without drowning setup time in
+// goroutine scheduling. Every rank sends to rank+1 and receives from rank-1
+// (no wraparound guard: the stream is synthetic), making PeerRel uniformly
+// +1/-1 across all ranks.
+func spmdCTTs(n, iters int) ([]*ctt.RankCTT, error) {
+	_, tree, err := compileSrc(spmdSrc)
+	if err != nil {
+		return nil, err
+	}
+	var loop, sendLeaf, recvLeaf, redLeaf *cst.Vertex
+	tree.Walk(func(v *cst.Vertex, _ int) {
+		switch {
+		case loop == nil && v.Kind == cst.KindLoop:
+			loop = v
+		case sendLeaf == nil && v.Kind == cst.KindComm && v.Op == trace.OpSend:
+			sendLeaf = v
+		case recvLeaf == nil && v.Kind == cst.KindComm && v.Op == trace.OpRecv:
+			recvLeaf = v
+		case redLeaf == nil && v.Kind == cst.KindComm && v.Op == trace.OpAllreduce:
+			redLeaf = v
+		}
+	})
+	if loop == nil || sendLeaf == nil || recvLeaf == nil || redLeaf == nil {
+		return nil, fmt.Errorf("micro: spmd tree missing vertices")
+	}
+	out := make([]*ctt.RankCTT, n)
+	var ev trace.Event
+	for r := 0; r < n; r++ {
+		c := ctt.NewCompressor(tree, r, timestat.ModeMeanStddev)
+		ev = trace.Event{Op: trace.OpInit, Peer: trace.NoPeer, ReqID: -1, DurationNS: 120, ComputeNS: 10}
+		c.Event(&ev)
+		c.LoopEnter(int32(loop.Site))
+		for k := 0; k < iters; k++ {
+			c.LoopIter(int32(loop.Site))
+			c.CommSite(int32(sendLeaf.Site))
+			ev = trace.Event{Op: trace.OpSend, Peer: r + 1, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1500, ComputeNS: 40}
+			c.Event(&ev)
+			c.CommSite(int32(recvLeaf.Site))
+			ev = trace.Event{Op: trace.OpRecv, Peer: r - 1, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1600, ComputeNS: 55}
+			c.Event(&ev)
+		}
+		c.StructExit()
+		c.CommSite(int32(redLeaf.Site))
+		ev = trace.Event{Op: trace.OpAllreduce, Peer: trace.NoPeer, Size: 8, ReqID: -1, DurationNS: 2200, ComputeNS: 70}
+		c.Event(&ev)
+		ev = trace.Event{Op: trace.OpFinalize, Peer: trace.NoPeer, ReqID: -1, DurationNS: 90}
+		c.Event(&ev)
+		c.Finalize()
+		out[r] = c.Finish()
+	}
+	return out, nil
+}
+
+// benchMergeAll measures the full parallel binary reduction over n
+// identical-SPMD rank trees. All re-wraps the same CTTs each iteration
+// (FromRank allocates fresh entry lists); merging only folds time statistics
+// into the left operands, so per-iteration work is uniform.
+func benchMergeAll(b *testing.B, n int) {
+	ctts, err := spmdCTTs(n, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merge.All(ctts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "ranks/op")
+}
+
+// BenchMergeAll256 merges 256 identical-SPMD rank trees.
+func BenchMergeAll256(b *testing.B) { benchMergeAll(b, 256) }
+
+// BenchMergeAll1024 merges 1024 identical-SPMD rank trees (the PR 2
+// acceptance benchmark).
+func BenchMergeAll1024(b *testing.B) { benchMergeAll(b, 1024) }
+
+// BenchMergeAll4096 merges 4096 identical-SPMD rank trees.
+func BenchMergeAll4096(b *testing.B) { benchMergeAll(b, 4096) }
+
+// BenchDecode measures deserialization of a merged 64-rank stencil trace
+// (the realistic shape: relative-encoded records, branch arms, collectives).
+func BenchDecode(b *testing.B) {
+	ctts := runRanks(b, stencilSrc, 64)
+	m, err := merge.All(ctts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	rd := bytes.NewReader(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(data)
+		if _, err := merge.Decode(rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bytes/op")
+}
+
 // Micro is one registered microbenchmark.
 type Micro struct {
 	Name  string
@@ -295,6 +423,10 @@ func Micros() []Micro {
 		{"RecordMerge", BenchRecordMerge},
 		{"MergePair", BenchMergePair},
 		{"Encode", BenchEncode},
+		{"MergeAll256", BenchMergeAll256},
+		{"MergeAll1024", BenchMergeAll1024},
+		{"MergeAll4096", BenchMergeAll4096},
+		{"Decode", BenchDecode},
 	}
 }
 

@@ -110,8 +110,17 @@ func (v *Vertex) addChild(c *Vertex) *Vertex {
 }
 
 func (v *Vertex) buildIndex() {
+	if err := v.buildIndexChecked(); err != nil {
+		// Build-time callers construct the tree themselves, so a duplicate
+		// child key is an internal invariant violation there. The decoder,
+		// which consumes untrusted files, uses buildIndexChecked directly.
+		panic(err.Error())
+	}
+}
+
+func (v *Vertex) buildIndexChecked() error {
 	if len(v.Children) == 0 {
-		return
+		return nil
 	}
 	v.childIdx = make(map[childKey]*Vertex, len(v.Children))
 	for _, c := range v.Children {
@@ -119,14 +128,17 @@ func (v *Vertex) buildIndex() {
 		if _, dup := v.childIdx[key]; dup {
 			// Comm leaves may repeat a site only if the same call expression
 			// appears twice under one parent, which the expansion never
-			// produces; treat as an internal invariant violation.
-			panic(fmt.Sprintf("cst: duplicate child key %+v under GID %d", key, v.GID))
+			// produces.
+			return fmt.Errorf("cst: duplicate child key %+v under GID %d", key, v.GID)
 		}
 		v.childIdx[key] = c
 	}
 	for _, c := range v.Children {
-		c.buildIndex()
+		if err := c.buildIndexChecked(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Tree is a complete program CST.

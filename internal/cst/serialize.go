@@ -2,11 +2,14 @@ package cst
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"strconv"
 	"strings"
 
+	"repro/internal/encpool"
 	"repro/internal/lang"
 	"repro/internal/trace"
 )
@@ -51,11 +54,60 @@ func (t *Tree) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode reads a tree written by Encode.
+// parseInt parses a decimal integer with an optional leading '-' from b.
+// Hand-rolled so the decoder's per-vertex hot loop parses fields straight out
+// of the read buffer, with no string conversions and none of fmt's scan-state
+// machinery (formerly two thirds of a trace decode's allocations).
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 19 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		if len(b) == 1 {
+			return 0, false
+		}
+		neg = true
+		i = 1
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// readLine returns the next newline-terminated line without the terminator.
+// The slice aliases the reader's buffer and is valid until the next read.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	switch {
+	case err == nil:
+		return line[:len(line)-1], nil
+	case err == io.EOF && len(line) > 0:
+		return line, nil
+	case err == bufio.ErrBufferFull:
+		return nil, fmt.Errorf("cst: line too long")
+	default:
+		return nil, err
+	}
+}
+
+// Decode reads a tree written by Encode. The parser is hand-rolled over the
+// line format and builds all vertices in one slab: decoding is part of every
+// downstream consumer's open path (replay, prediction, the bench harness),
+// so it stays allocation-lean.
 func Decode(r io.Reader) (*Tree, error) {
-	br := bufio.NewReader(r)
-	var n int
-	var fn string
+	br := encpool.GetBufioReader(r)
+	defer encpool.PutBufioReader(br)
 	header, err := br.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("cst: reading header: %w", err)
@@ -63,41 +115,75 @@ func Decode(r io.Reader) (*Tree, error) {
 	if !strings.HasPrefix(header, magic) {
 		return nil, fmt.Errorf("cst: bad magic %q", strings.TrimSpace(header))
 	}
-	if _, err := fmt.Sscanf(header[len(magic):], "%d %s", &n, &fn); err != nil {
+	fields := strings.Fields(header[len(magic):])
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("cst: bad header %q", strings.TrimSpace(header))
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
 		return nil, fmt.Errorf("cst: bad header %q: %w", strings.TrimSpace(header), err)
 	}
+	fn := fields[1]
 	if n < 1 || n > 1<<24 {
 		return nil, fmt.Errorf("cst: implausible vertex count %d", n)
 	}
+	verts := make([]Vertex, n)
 	t := &Tree{FuncName: fn, ByGID: make([]*Vertex, 0, n)}
 	type pending struct {
 		v         *Vertex
 		remaining int
 	}
 	var stack []pending
-	targets := map[*Vertex]int32{}
+	var targets map[*Vertex]int32
 	for i := 0; i < n; i++ {
-		var gid, site int32
-		var kind, arm, op, rec, ret int
-		var target int32
-		var callee string
-		if _, err := fmt.Fscanf(br, "%d %d %d %d %d %d %d %d %q\n",
-			&gid, &kind, &site, &arm, &op, &rec, &ret, &target, &callee); err != nil {
+		line, err := readLine(br)
+		if err != nil {
 			return nil, fmt.Errorf("cst: vertex %d: %w", i, err)
 		}
-		var nchild int
-		if _, err := fmt.Fscanf(br, "%d\n", &nchild); err != nil {
+		// Eight space-separated integers, then the %q-quoted callee.
+		var nums [8]int64
+		for j := range nums {
+			sp := bytes.IndexByte(line, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("cst: vertex %d: short line", i)
+			}
+			v, ok := parseInt(line[:sp])
+			if !ok {
+				return nil, fmt.Errorf("cst: vertex %d: bad field %q", i, line[:sp])
+			}
+			nums[j] = v
+			line = line[sp+1:]
+		}
+		callee := ""
+		if !bytes.Equal(line, quotedEmpty) {
+			if callee, err = strconv.Unquote(string(line)); err != nil {
+				return nil, fmt.Errorf("cst: vertex %d: bad callee %q: %w", i, line, err)
+			}
+		}
+		cline, err := readLine(br)
+		if err != nil {
 			return nil, fmt.Errorf("cst: vertex %d child count: %w", i, err)
 		}
-		if gid != int32(i) {
+		nc, ok := parseInt(cline)
+		if !ok || nc < 0 {
+			return nil, fmt.Errorf("cst: vertex %d: bad child count %q", i, cline)
+		}
+		nchild := int(nc)
+		gid, kind, site, arm := nums[0], nums[1], nums[2], nums[3]
+		op, rec, ret, target := nums[4], nums[5], nums[6], nums[7]
+		if gid != int64(i) {
 			return nil, fmt.Errorf("cst: vertex %d has GID %d; file not in pre-order", i, gid)
 		}
-		v := &Vertex{
-			Kind: Kind(kind), GID: gid, Site: lang.NodeID(site), Arm: int8(arm),
+		v := &verts[i]
+		*v = Vertex{
+			Kind: Kind(kind), GID: int32(gid), Site: lang.NodeID(site), Arm: int8(arm),
 			Op: trace.Op(op), Recursive: rec != 0, Returns: ret != 0, Callee: callee,
 		}
 		if target >= 0 {
-			targets[v] = target
+			if targets == nil {
+				targets = map[*Vertex]int32{}
+			}
+			targets[v] = int32(target)
 		}
 		if len(stack) == 0 {
 			if i != 0 {
@@ -126,9 +212,15 @@ func Decode(r io.Reader) (*Tree, error) {
 		}
 		v.Target = t.ByGID[tg]
 	}
-	t.Root.buildIndex()
+	if err := t.Root.buildIndexChecked(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
+
+// quotedEmpty is the %q encoding of the empty callee, the overwhelmingly
+// common case, matched directly so non-call vertices skip Unquote.
+var quotedEmpty = []byte(`""`)
 
 // Hash returns a structural fingerprint. All ranks of an SPMD job share one
 // binary, hence one CST; merge refuses trees with different hashes.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/cst"
+	"repro/internal/fp"
 	"repro/internal/lang"
 	"repro/internal/stride"
 	"repro/internal/timestat"
@@ -43,6 +44,16 @@ type CommRecord struct {
 	// under the relative ranking encoding: the record's true peer for rank r
 	// is r + PeerRel, and Ev.Peer is no longer meaningful.
 	RelEncoded bool
+	// RelUnsafe is set by the inter-process merge when ranks were unified
+	// under the absolute encoding even though their relative encodings
+	// differed: Ev.Peer is the (shared) true peer, and PeerRel is stale — it
+	// was computed for whichever rank contributed the record first and is not
+	// valid for the group. Such a record must never be unified relatively in
+	// a later merge level, or the stale PeerRel would silently misattribute
+	// peers (lossy output). RelUnsafe and RelEncoded are mutually exclusive.
+	// The flag is not serialized: it is a merge-time invariant, recomputed
+	// from scratch on every merge, and decoded trees are never re-merged.
+	RelUnsafe bool
 	// Peers, when non-nil, means the record's occurrences cycle through
 	// several peers (e.g. butterfly exchanges); PeerRel and Ev.Peer are then
 	// unused. Peer offsets are rank-relative.
@@ -108,6 +119,11 @@ type VData struct {
 	// a record costs one heap allocation per chunk instead of three per
 	// record (record + two stats) as the pointer-per-record layout did.
 	slab recordSlab
+	// fpc memoizes FingerprintRel (see FingerprintRelCached). Valid only
+	// while fpcOK; the merge invalidates it on mutations that change the
+	// fingerprint (RelUnsafe poisoning).
+	fpc   fp.Hash
+	fpcOK bool
 }
 
 // recordChunkMax caps slab chunk growth.
@@ -145,6 +161,11 @@ func (d *VData) NewRecord() *CommRecord {
 	return r
 }
 
+// Executed reports whether the vertex holds any dynamic data.
+func (d *VData) Executed() bool {
+	return len(d.Records) != 0 || d.Counts.Len() != 0 || d.Taken.Len() != 0
+}
+
 // SizeBytes estimates the serialized footprint of the vertex data.
 func (d *VData) SizeBytes() int64 {
 	var n int64
@@ -168,6 +189,12 @@ type RankCTT struct {
 	// EventCount is the number of MPI events the rank produced (for
 	// compression-ratio accounting).
 	EventCount int64
+	// Executed counts vertices holding dynamic data, precomputed at Finish
+	// so the inter-process merge can size its slabs without rescanning.
+	Executed int
+	// span memoizes SpanRel (valid while spanOK).
+	span   fp.Hash
+	spanOK bool
 }
 
 // SizeBytes estimates the serialized footprint of the whole rank CTT
@@ -553,6 +580,7 @@ func (c *Compressor) Finish() *RankCTT {
 	if !c.finished {
 		panic("ctt: Finish before Finalize")
 	}
+	exec := 0
 	for i := range c.data {
 		d := &c.data[i]
 		d.reach = nil
@@ -564,6 +592,9 @@ func (c *Compressor) Finish() *RankCTT {
 				r.Peers.Compress()
 			}
 		}
+		if d.Executed() {
+			exec++
+		}
 	}
 	return &RankCTT{
 		Rank:       c.rank,
@@ -571,6 +602,7 @@ func (c *Compressor) Finish() *RankCTT {
 		TreeHash:   c.tree.Hash(),
 		Data:       c.data,
 		EventCount: c.events,
+		Executed:   exec,
 	}
 }
 

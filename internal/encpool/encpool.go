@@ -55,6 +55,29 @@ func PutBufio(bw *bufio.Writer) {
 	}
 }
 
+var bufioReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, bufioSize) },
+}
+
+// GetBufioReader returns a pooled 64KB bufio.Reader reset to r. The decode
+// path constructs one buffered reader per trace file; pooling keeps repeated
+// decodes (bench harness cells, round-trip tests) from re-allocating the
+// buffer each time.
+func GetBufioReader(r io.Reader) *bufio.Reader {
+	br := bufioReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// PutBufioReader returns a reader to the pool, dropping its source so the
+// pool does not pin the underlying stream.
+func PutBufioReader(br *bufio.Reader) {
+	if br != nil {
+		br.Reset(nil)
+		bufioReaderPool.Put(br)
+	}
+}
+
 var bufPool = sync.Pool{
 	New: func() any { return new(bytes.Buffer) },
 }

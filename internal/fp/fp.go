@@ -1,0 +1,46 @@
+// Package fp implements the 64-bit structural fingerprint fold used by the
+// inter-process merge (hash-consing of vertex data): a splitmix64-style
+// pre-mix of each word followed by an FNV-1a-style combine. The pre-mix
+// spreads the small integers that dominate trace data (ranks, tags, sizes,
+// run counts) across the whole word before combining, so sequences differing
+// only in low bits still diverge across the full 64-bit state.
+//
+// Fingerprint equality is used as a stand-in for structural equality during
+// merging: two different canonical streams collide with probability ~2^-64
+// per comparison, and every fast-path use additionally guards on O(1) shape
+// counters (record/run/cycle counts), so a silent collision requires both a
+// 64-bit hash collision and identical shape. See DESIGN.md ("Fingerprint
+// merge") for the losslessness argument.
+package fp
+
+// Hash is an accumulating 64-bit fingerprint state. Fold values with Word,
+// Int, and Bool; the zero value is NOT a valid initial state — use New.
+type Hash uint64
+
+const (
+	offset64 Hash   = 14695981039346656037
+	prime64  Hash   = 1099511628211
+	mixA     uint64 = 0xbf58476d1ce4e5b9 // splitmix64 finalizer constants
+)
+
+// New returns the initial fold state.
+func New() Hash { return offset64 }
+
+// Word folds one 64-bit word into the state.
+func (h Hash) Word(x uint64) Hash {
+	x ^= x >> 30
+	x *= mixA
+	x ^= x >> 27
+	return (h ^ Hash(x)) * prime64
+}
+
+// Int folds a signed value.
+func (h Hash) Int(x int64) Hash { return h.Word(uint64(x)) }
+
+// Bool folds a flag.
+func (h Hash) Bool(b bool) Hash {
+	if b {
+		return h.Word(1)
+	}
+	return h.Word(0)
+}

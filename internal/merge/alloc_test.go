@@ -1,0 +1,96 @@
+package merge
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDecodeAllocs pins the slab-backed decode path. Decoding a merged trace
+// must carve entries, rank sets, vertex data, and comm records out of chunked
+// slabs instead of allocating each object individually: the budget below is a
+// small multiple of the chunk count, not of the entry count. Before the slab
+// rework this fixture decoded at several hundred allocations; regressions back
+// toward per-object allocation trip the bound immediately.
+func TestDecodeAllocs(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 16)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	var rd bytes.Reader // hoisted so the reader itself is not counted
+	step := func() {
+		rd.Reset(data)
+		if _, err := Decode(&rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm the bufio reader pool
+	allocs := testing.AllocsPerRun(200, step)
+	// The fixture has ~50 vertices and ~70 entries; the slab decoder spends
+	// ~50 allocations on it (tree, slab chunks, index maps). 80 leaves head-
+	// room for runtime noise while still catching any per-entry regression:
+	// the pre-slab decoder spent several hundred on this fixture.
+	if allocs > 80 {
+		t.Errorf("Decode allocates %.1f allocs/op, want <= 80", allocs)
+	}
+}
+
+// TestMergeAllSteadyStateAllocs pins the merge reduction's slab economy.
+// Re-merging the same rank CTTs is steady state after the first pass (the
+// first All rel-encodes leaf records in place); from then on every reduction
+// must serve its leaves from chunked slabs and its right operands from the
+// recycled scratch leaf. The budget scales with ranks/slabChunk, not with
+// ranks x vertices: with 64 ranks and ~50 vertices a per-entry scheme would
+// show thousands of allocations per op.
+func TestMergeAllSteadyStateAllocs(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 64)
+	step := func() {
+		if _, err := All(ctts, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // first pass rel-encodes leaf records in place
+	allocs := testing.AllocsPerRun(50, step)
+	if allocs > 400 {
+		t.Errorf("steady-state All(64 ranks) allocates %.1f allocs/op, want <= 400", allocs)
+	}
+}
+
+// TestPairFingerprintFastPathAllocs drives the whole-tree fingerprint fast
+// path directly: two halves whose rank trees have equal relative spans must
+// merge via the span guard, which only appends rank runs to the left operand's
+// existing entries. The interior ranks of the jacobi stencil are structurally
+// identical, so pairs drawn from them hit the fast path on every vertex.
+func TestPairFingerprintFastPathAllocs(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 16)
+	// Warm pass rel-encodes the leaves so fingerprints are in steady state.
+	if _, err := All(ctts, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Interior ranks 3..12: identical control flow and relative peers.
+	x := &leafCtx{ctts: ctts}
+	step := func() {
+		left := x.durableLeaf(5)
+		right := x.scratchLeaf(6)
+		if !left.treeOK || !right.treeOK || left.treeRel != right.treeRel {
+			t.Fatal("interior ranks should share a whole-tree fingerprint")
+		}
+		if _, err := x.pair(left, right); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step()
+	allocs := testing.AllocsPerRun(200, step)
+	// Steady state: the durable left leaf comes out of the chunked slabs
+	// (amortized ~3 allocs/op at chunk 64), the scratch right leaf is
+	// recycled, and the fast-path pair itself allocates nothing.
+	if allocs > 8 {
+		t.Errorf("fingerprint fast-path pair allocates %.1f allocs/op, want <= 8", allocs)
+	}
+}

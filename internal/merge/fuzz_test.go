@@ -1,0 +1,86 @@
+package merge
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds builds encoded merged traces from representative fixtures to seed
+// the corpus: a stencil with interior/edge divergence, trivial collectives,
+// and a control-flow-divergent pairing where loop counts differ across ranks.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, tc := range []struct {
+		src   string
+		ranks int
+	}{
+		{jacobiSrc, 7},
+		{`func main() { barrier(); }`, 2},
+		{`
+func main() {
+	var pair = rank / 2;
+	var k = 5;
+	if pair % 2 == 1 { k = 9; }
+	if rank % 2 == 0 {
+		for var i = 0; i < k; i = i + 1 { send(rank + 1, 64, 0); }
+	} else {
+		for var i = 0; i < k; i = i + 1 { recv(rank - 1, 64, 0); }
+	}
+}`, 8},
+	} {
+		_, ctts, _ := collect(f, tc.src, tc.ranks)
+		m, err := All(ctts, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
+// FuzzDecodeRoundTrip feeds arbitrary bytes to the slab-backed decoder and
+// checks two properties:
+//
+//  1. Robustness: Decode never panics; malformed input returns an error.
+//  2. Idempotent round trip: for any input that decodes, one Decode-Encode
+//     pass is a normal form — Encode(Decode(Encode(Decode(in)))) is
+//     byte-identical to Encode(Decode(in)). (The first pass may legitimately
+//     differ from the raw input: the v1 format drops the second timing moment
+//     under mean-only mode, so re-encoding is normalizing, not lossy.)
+//
+// The seed corpus holds well-formed traces from the merge fixtures so the
+// mutator starts from deep inside the format rather than fishing for the
+// magic header.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CYPRESS-MERGE"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := Decode(bytes.NewReader(in))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		var b1 bytes.Buffer
+		if _, err := m.Encode(&b1); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		m2, err := Decode(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded trace failed: %v", err)
+		}
+		var b2 bytes.Buffer
+		if _, err := m2.Encode(&b2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("Encode∘Decode not idempotent: %d vs %d bytes", b1.Len(), b2.Len())
+		}
+	})
+}

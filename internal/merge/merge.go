@@ -8,6 +8,17 @@
 // Merged vertex data is annotated with stride-compressed rank sets; process
 // ranks inside point-to-point records are unified with the relative ranking
 // encoding (current rank ± constant) whenever absolute peers differ.
+//
+// The reduction is fingerprint-accelerated (hash-consing of vertex data, see
+// DESIGN.md "Fingerprint merge"): each entry caches two 64-bit structural
+// fingerprints of its payload, one per unification encoding, so compatible
+// payloads — the overwhelmingly common SPMD case — are recognized in O(1)
+// instead of walking every record. Fingerprint equality plus O(1) shape
+// guards implies the exhaustive walk would succeed with identical per-record
+// decisions; a mismatch falls back to the walk, so fingerprinting never
+// changes grouping, only the cost of discovering it. Whole trees carry a
+// span fingerprint over their entry fingerprints, letting a reduction step
+// over two uniform trees skip even the per-vertex compatibility checks.
 package merge
 
 import (
@@ -17,16 +28,41 @@ import (
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
+	"repro/internal/fp"
 	"repro/internal/rankset"
 	"repro/internal/stride"
 	"repro/internal/timestat"
 )
+
+// fingerprintEnabled gates the fingerprint fast paths. It exists so the
+// equivalence tests can force the exhaustive path and compare outputs; the
+// fast paths are otherwise always on. Toggling it between FromRank and Pair
+// calls over the same trees is not supported (entries built while disabled
+// carry no fingerprints and permanently use the exhaustive path).
+var fingerprintEnabled = true
 
 // Entry is one rank-group's data for a vertex: every rank in Ranks produced
 // exactly this data (paper Figure 13's "<p0,p1: k>" annotations).
 type Entry struct {
 	Ranks *rankset.Set
 	Data  *ctt.VData
+
+	// Fingerprint cache (see DESIGN.md "Fingerprint merge"). fpRel/fpAbs are
+	// the payload's structural fingerprints under the relative and absolute
+	// unification encodings; they are recomputed incrementally — only when a
+	// merge actually changes a record's encoding class — not per comparison.
+	// fpAbs is computed lazily on the first relative-fingerprint mismatch:
+	// identical-SPMD reductions never need it, and it would otherwise double
+	// the leaf fingerprinting cost.
+	fpRel   fp.Hash
+	fpAbs   fp.Hash
+	fpOK    bool // fpRel computed (false for decoded trees)
+	absDone bool // fpAbs/absOK computed
+	absOK   bool // fpAbs valid: no plain p2p record has been rel-encoded
+	// owns marks that Ranks storage belongs exclusively to this entry and may
+	// be extended in place. FromRank shares one Set across all vertices of a
+	// rank, so entries start not owning; the first union copies.
+	owns bool
 }
 
 // Merged is a job-wide compressed trace tree.
@@ -40,71 +76,458 @@ type Merged struct {
 	Entries [][]Entry
 	// EventCount is the total number of MPI events across all ranks.
 	EventCount int64
+
+	// treeRel spans the per-entry relative fingerprints of the whole tree
+	// (per vertex: entry count, then each entry's fpRel). Two uniform trees
+	// with equal spans merge without any per-vertex comparisons. treeOK is
+	// false when the span is stale or entries lack fingerprints.
+	treeRel fp.Hash
+	treeOK  bool
+	// uniform reports at most one entry per vertex, the precondition for the
+	// whole-tree fast path (positional pairing equals scan-order pairing).
+	uniform bool
+	// groups caches GroupCount as an O(1) shape guard for the span compare.
+	groups int
 }
 
-// FromRank wraps a single rank's CTT as a one-rank merged tree.
+// executedCount returns the number of vertices holding dynamic data, using
+// the count precomputed by the compressor when available.
+func executedCount(c *ctt.RankCTT) int {
+	if c.Executed > 0 {
+		return c.Executed
+	}
+	n := 0
+	for gid := range c.Data {
+		if c.Data[gid].Executed() {
+			n++
+		}
+	}
+	return n
+}
+
+// FromRank wraps a single rank's CTT as a one-rank merged tree. All entries
+// of the rank share one backing slice and one rank-set slab — a handful of
+// allocations per rank instead of a few per vertex — and every entry owns
+// its set, so the reduction above extends rank sets in place at every level.
+// (The parallel reduction batches further, carving leaf trees out of chunked
+// slabs and recycling right-leaf storage; see leafCtx.)
 func FromRank(c *ctt.RankCTT) *Merged {
-	m := &Merged{
+	n := executedCount(c)
+	m := &Merged{}
+	m.initFromRank(c, make([][]Entry, len(c.Data)), make([]Entry, n), make([]rankset.Set, n), true)
+	return m
+}
+
+// initFromRank populates m as the one-rank tree of c, writing entries into
+// the provided backing storage: lists (len(c.Data) slice headers), backing
+// and sets (executedCount(c) elements each). fresh says the backing is
+// zero-valued; recycled scratch storage (fresh=false) is reset as it is
+// rewritten, so every word of m's state after the call is independent of the
+// storage's previous use.
+func (m *Merged) initFromRank(c *ctt.RankCTT, lists [][]Entry, backing []Entry, sets []rankset.Set, fresh bool) {
+	*m = Merged{
 		Tree:       c.Tree,
 		TreeHash:   c.TreeHash,
 		NumRanks:   1,
-		Entries:    make([][]Entry, len(c.Data)),
+		Entries:    lists,
 		EventCount: c.EventCount,
 	}
-	rs := rankset.Single(c.Rank)
+	fpOn := fingerprintEnabled
+	k := 0
 	for gid := range c.Data {
 		d := &c.Data[gid]
-		if len(d.Records) == 0 && d.Counts.Len() == 0 && d.Taken.Len() == 0 {
-			continue // vertex never executed by this rank
+		if !d.Executed() {
+			m.Entries[gid] = nil
+			continue
 		}
-		m.Entries[gid] = []Entry{{Ranks: rs, Data: d}}
+		e := &backing[k]
+		if fresh {
+			sets[k].SeedSingle(c.Rank)
+		} else {
+			sets[k].InitSingle(c.Rank)
+		}
+		*e = Entry{Ranks: &sets[k], Data: d, owns: true}
+		if fpOn {
+			e.fpRel = d.FingerprintRelCached()
+			e.fpOK = true
+		}
+		m.Entries[gid] = backing[k : k+1 : k+1]
+		k++
 	}
+	if fpOn {
+		// The rank tree's memoized span matches refreshSummary's schema
+		// (vertex id, entry count, entry fingerprint per executed vertex).
+		m.treeRel = c.SpanRel()
+	}
+	m.treeOK = fpOn
+	m.uniform = true
+	m.groups = k
+}
+
+// slabChunk is the number of ranks whose durable leaf trees share one set of
+// slabs in leafCtx. Chunking balances allocation count (a handful per 64
+// ranks instead of per rank) against garbage-collector liveness: the
+// reduction consumes most leaf storage quickly — only the left spine
+// survives — and per-chunk slabs let the collector reclaim consumed chunks
+// mid-reduction instead of keeping one job-wide slab pinned by the
+// survivors.
+const slabChunk = 64
+
+// leafCtx builds the leaf trees of one reduction lane lazily, as the
+// depth-first recursion reaches them. Left-hand leaves — the accumulators
+// that survive as the left spine — are carved durably out of chunked slabs.
+// Right-hand leaves are consumed by the very next Pair and almost never leave
+// anything behind (the fast path copies rank-set values and folds statistics
+// by value), so they are all built into one recycled scratch tree; only when
+// a Pair's exhaustive fallback copies an unmergeable scratch entry — whose
+// rank-set pointer then survives inside the left tree — is the scratch
+// retired and reallocated. This halves leaf storage: the dominant term in the
+// reduction's allocation footprint.
+//
+// A leafCtx is single-goroutine state: the parallel reduction hands each
+// spawned lane its own.
+type leafCtx struct {
+	ctts  []*ctt.RankCTT
+	noRel bool
+
+	// Durable slab cursors, refilled a chunk at a time.
+	merged  []Merged
+	lists   [][]Entry
+	entries []Entry
+	sets    []rankset.Set
+
+	// Recycled right-leaf storage; scratch is nil when retired or not yet
+	// allocated.
+	scratch        *Merged
+	scratchLists   [][]Entry
+	scratchEntries []Entry
+	scratchSets    []rankset.Set
+}
+
+// durableLeaf builds rank i's leaf tree out of the chunked slabs.
+func (x *leafCtx) durableLeaf(i int) *Merged {
+	c := x.ctts[i]
+	nl, ne := len(c.Data), executedCount(c)
+	if len(x.merged) == 0 {
+		x.merged = make([]Merged, slabChunk)
+	}
+	if len(x.lists) < nl {
+		x.lists = make([][]Entry, nl*slabChunk)
+	}
+	if len(x.entries) < ne {
+		// Entry and set slabs are sized by the current leaf's entry count;
+		// jobs whose ranks execute different vertex sets just refill sooner.
+		x.entries = make([]Entry, ne*slabChunk)
+		x.sets = make([]rankset.Set, ne*slabChunk)
+	}
+	m := &x.merged[0]
+	x.merged = x.merged[1:]
+	lists := x.lists[:nl:nl]
+	x.lists = x.lists[nl:]
+	entries := x.entries[:ne:ne]
+	x.entries = x.entries[ne:]
+	sets := x.sets[:ne:ne]
+	x.sets = x.sets[ne:]
+	m.initFromRank(c, lists, entries, sets, true)
+	m.noRel = x.noRel
 	return m
+}
+
+// scratchLeaf builds rank i's leaf tree into the recycled scratch storage.
+func (x *leafCtx) scratchLeaf(i int) *Merged {
+	c := x.ctts[i]
+	nl, ne := len(c.Data), executedCount(c)
+	fresh := false
+	if x.scratch == nil || len(x.scratchLists) < nl || len(x.scratchEntries) < ne {
+		x.scratch = new(Merged)
+		x.scratchLists = make([][]Entry, nl)
+		x.scratchEntries = make([]Entry, ne)
+		x.scratchSets = make([]rankset.Set, ne)
+		fresh = true
+	}
+	x.scratch.initFromRank(c,
+		x.scratchLists[:nl:nl],
+		x.scratchEntries[:ne:ne],
+		x.scratchSets[:ne:ne], fresh)
+	x.scratch.noRel = x.noRel
+	return x.scratch
+}
+
+// pair merges b into a, retiring the scratch tree when an unmergeable
+// scratch entry escaped into the survivor.
+func (x *leafCtx) pair(a, b *Merged) (*Merged, error) {
+	m, escaped, err := pairEsc(a, b)
+	if escaped && b == x.scratch {
+		x.scratch = nil
+	}
+	return m, err
+}
+
+// refreshSummary recomputes the whole-tree span and shape guards from the
+// cached entry fingerprints. O(vertices + groups); called only after a merge
+// step that changed the entry structure.
+func (m *Merged) refreshSummary() {
+	h := fp.New()
+	ok := true
+	uniform := true
+	groups := 0
+	for gid, es := range m.Entries {
+		if len(es) == 0 {
+			continue
+		}
+		h = h.Word(uint64(gid)).Word(uint64(len(es)))
+		if len(es) > 1 {
+			uniform = false
+		}
+		groups += len(es)
+		for i := range es {
+			if !es[i].fpOK {
+				ok = false
+			}
+			h = h.Word(uint64(es[i].fpRel))
+		}
+	}
+	m.treeRel = h
+	m.treeOK = ok
+	m.uniform = uniform
+	m.groups = groups
 }
 
 // Pair merges b into a and returns a. Both operands are consumed: the
 // result aliases and mutates their data. Trees must be identical (SPMD).
 func Pair(a, b *Merged) (*Merged, error) {
+	m, _, err := pairEsc(a, b)
+	return m, err
+}
+
+// pairEsc is Pair, additionally reporting whether any of b's entries escaped
+// into the survivor (an unmergeable entry copied by the exhaustive fallback,
+// whose rank-set pointer then stays reachable from a). The reduction uses
+// this to decide whether b's scratch storage is safe to recycle.
+func pairEsc(a, b *Merged) (_ *Merged, escaped bool, _ error) {
 	if a.TreeHash != b.TreeHash {
-		return nil, fmt.Errorf("merge: CST hash mismatch: %x vs %x", a.TreeHash, b.TreeHash)
+		return nil, false, fmt.Errorf("merge: CST hash mismatch: %x vs %x", a.TreeHash, b.TreeHash)
 	}
 	if len(a.Entries) != len(b.Entries) {
-		return nil, fmt.Errorf("merge: vertex count mismatch: %d vs %d", len(a.Entries), len(b.Entries))
+		return nil, false, fmt.Errorf("merge: vertex count mismatch: %d vs %d", len(a.Entries), len(b.Entries))
 	}
 	noRel := a.noRel || b.noRel
-	for gid := range a.Entries {
-		a.Entries[gid] = mergeEntryLists(a.Entries[gid], b.Entries[gid], noRel)
+	a.noRel = noRel
+	st := mergeState{noRel: noRel, fpOn: fingerprintEnabled && !noRel}
+	if st.fpOn && a.uniform && b.uniform && a.treeOK && b.treeOK &&
+		a.treeRel == b.treeRel && a.groups == b.groups {
+		st.pairFast(a, b)
+	} else {
+		st.dirty = true
+		for gid := range a.Entries {
+			a.Entries[gid] = st.entryLists(a.Entries[gid], b.Entries[gid])
+		}
+	}
+	if st.dirty {
+		a.refreshSummary()
 	}
 	a.NumRanks += b.NumRanks
 	a.EventCount += b.EventCount
-	return a, nil
+	return a, st.escaped, nil
 }
 
-// mergeEntryLists folds right-hand entries into the left-hand list, unifying
-// rank groups whose data is compatible.
-func mergeEntryLists(left, right []Entry, noRel bool) []Entry {
-	for _, re := range right {
+// mergeState carries per-Pair scratch: the reusable rel buffer of the
+// exhaustive compatibility walk (previously allocated per comparison) and
+// the fast-path configuration.
+type mergeState struct {
+	noRel   bool
+	fpOn    bool
+	dirty   bool // entry structure changed; whole-tree span needs refresh
+	escaped bool // an entry of b was copied into a (see pairEsc)
+	relBuf  []bool
+}
+
+// pairFast merges two uniform trees whose span fingerprints matched. Every
+// vertex is expected to hit the O(1) fast path; a vertex that does not
+// (possible only under a 64-bit span collision) falls back to the exhaustive
+// list merge, preserving correctness.
+func (st *mergeState) pairFast(a, b *Merged) {
+	for gid := range a.Entries {
+		la, lb := a.Entries[gid], b.Entries[gid]
+		if len(lb) == 0 {
+			continue
+		}
+		if len(la) == 1 && len(lb) == 1 {
+			ea, eb := &la[0], &lb[0]
+			// The whole-tree span compare already guarded on the total group
+			// count, so the per-entry shape guard is redundant here; the
+			// entry fingerprint alone decides.
+			if ea.fpRel == eb.fpRel {
+				if unifyFastRel(ea.Data, eb.Data) {
+					ea.invalidateAbs()
+				}
+				mergeRanks(ea, eb)
+				continue
+			}
+		}
+		a.Entries[gid] = st.entryLists(la, lb)
+		st.dirty = true
+	}
+}
+
+// entryLists folds right-hand entries into the left-hand list, unifying
+// rank groups whose data is compatible. Left entries are probed in order and
+// the first compatible one wins, exactly as the exhaustive-only merge did.
+func (st *mergeState) entryLists(left, right []Entry) []Entry {
+	for ri := range right {
+		re := &right[ri]
 		merged := false
 		for i := range left {
-			if rel, ok := compatible(left[i].Data, re.Data, noRel); ok {
-				unify(left[i].Data, re.Data, rel)
-				left[i].Ranks = rankset.Union(left[i].Ranks, re.Ranks)
+			if st.tryMerge(&left[i], re) {
 				merged = true
 				break
 			}
 		}
 		if !merged {
-			left = append(left, re)
+			left = append(left, *re)
+			st.escaped = true
 		}
 	}
 	return left
 }
 
+// shapeEq is the O(1) shape guard accompanying every fingerprint compare:
+// a silent fingerprint collision must also exhibit identical record, cycle,
+// and control-vector counts to be accepted (see DESIGN.md).
+func shapeEq(a, b *ctt.VData) bool {
+	return len(a.Records) == len(b.Records) && len(a.Cycles) == len(b.Cycles) &&
+		a.Counts.Len() == b.Counts.Len() && a.Taken.Len() == b.Taken.Len()
+}
+
+// tryMerge unifies re into le when their payloads are compatible, reporting
+// whether it did. Fingerprint equality takes the O(1) fast paths; any
+// mismatch falls back to the exhaustive walk, so the merge decision is
+// always exactly the one compatible() would make.
+func (st *mergeState) tryMerge(le, re *Entry) bool {
+	if st.fpOn && le.fpOK && re.fpOK && shapeEq(le.Data, re.Data) {
+		if le.fpRel == re.fpRel {
+			if unifyFastRel(le.Data, re.Data) {
+				le.invalidateAbs()
+			}
+			mergeRanks(le, re)
+			return true
+		}
+		le.ensureAbs()
+		re.ensureAbs()
+		if le.absOK && re.absOK && le.fpAbs == re.fpAbs {
+			if unifyFastAbs(le.Data, re.Data) {
+				// Poisoned records changed class; recompute the stale
+				// relative fingerprint (absolute peers are unchanged).
+				le.Data.InvalidateFingerprint()
+				le.fpRel = le.Data.FingerprintRelCached()
+			}
+			mergeRanks(le, re)
+			return true
+		}
+	}
+	rel, ok := st.compatible(le.Data, re.Data)
+	if !ok {
+		return false
+	}
+	poisoned, relSet := unify(le.Data, re.Data, rel)
+	if relSet {
+		le.invalidateAbs()
+	}
+	if poisoned && st.fpOn && le.fpOK {
+		le.Data.InvalidateFingerprint()
+		le.fpRel = le.Data.FingerprintRelCached()
+	}
+	mergeRanks(le, re)
+	return true
+}
+
+// ensureAbs computes the entry's absolute fingerprint on first use.
+func (e *Entry) ensureAbs() {
+	if !e.absDone {
+		e.fpAbs, e.absOK = e.Data.FingerprintAbs()
+		e.absDone = true
+	}
+}
+
+// invalidateAbs marks the absolute fingerprint stale after a record was
+// rel-encoded (its absolute peer no longer identifies the group).
+func (e *Entry) invalidateAbs() {
+	e.absDone = true
+	e.absOK = false
+}
+
+// mergeRanks extends le's rank set with re's. The reduction always merges a
+// lower-rank half with a higher-rank half, so the in-place append fast path
+// applies at every level once the entry owns its storage; the append's run
+// structure is canonical (identical to rebuilding from sorted members), so
+// serialized rank sets are byte-stable regardless of which path ran.
+func mergeRanks(le, re *Entry) {
+	if le.owns && le.Ranks.TryAppend(re.Ranks) {
+		return
+	}
+	le.Ranks = rankset.Union(le.Ranks, re.Ranks)
+	le.owns = true
+}
+
+// unifyFastRel applies the relative-encoding unification to a payload pair
+// whose relative fingerprints matched, mirroring unify()'s flag discipline
+// per encoding class, and folds b's time statistics into a. It reports
+// whether a plain p2p record became rel-encoded (invalidating fpAbs).
+func unifyFastRel(a, b *ctt.VData) (absInvalid bool) {
+	rb := b.Records
+	for i, r := range a.Records {
+		o := rb[i]
+		// Records already rel-encoded by an earlier reduction level — the
+		// steady state from level 1 up — need no class decision at all.
+		if !r.RelEncoded {
+			switch {
+			case r.Peers != nil:
+				// Peer-pattern records rel-unify (offsets are rank-relative).
+				r.RelEncoded = true
+			case r.Ev.Op.IsPointToPoint() && !r.RelUnsafe:
+				// Plain: equal PeerRel, rel-unify.
+				r.RelEncoded = true
+				absInvalid = true
+				// RelUnsafe records matched on absolute peer: no change.
+				// Collectives matched on absolute peer: no change.
+			}
+		}
+		r.Time.Merge(&o.Time)
+		r.Compute.Merge(&o.Compute)
+	}
+	return absInvalid
+}
+
+// unifyFastAbs applies the absolute-encoding unification to a payload pair
+// whose absolute fingerprints matched: patterns still rel-unify, plain p2p
+// records keep their absolute peer but are poisoned RelUnsafe when their
+// relative encodings disagree (the surviving PeerRel would be stale for the
+// widened group). Reports whether any record was poisoned.
+func unifyFastAbs(a, b *ctt.VData) (poisoned bool) {
+	rb := b.Records
+	for i, r := range a.Records {
+		o := rb[i]
+		if r.Peers != nil {
+			r.RelEncoded = true
+		} else if r.Ev.Op.IsPointToPoint() && !r.RelUnsafe {
+			if o.RelUnsafe || r.PeerRel != o.PeerRel {
+				r.RelUnsafe = true
+				poisoned = true
+			}
+		}
+		r.Time.Merge(&o.Time)
+		r.Compute.Merge(&o.Compute)
+	}
+	return poisoned
+}
+
 // compatible reports whether two vertex-data payloads are mergeable, and for
 // which records the relative-ranking encoding is required (rel[i] true means
 // record i unifies relatively). Compatibility requires identical control
-// data (loop counts, taken sets) and pairwise-compatible records.
-func compatible(a, b *ctt.VData, noRel bool) ([]bool, bool) {
+// data (loop counts, taken sets) and pairwise-compatible records. The
+// returned slice aliases the state's scratch buffer and is valid until the
+// next call.
+func (st *mergeState) compatible(a, b *ctt.VData) ([]bool, bool) {
 	if !a.Counts.Equal(&b.Counts) || !a.Taken.Vector.Equal(&b.Taken.Vector) {
 		return nil, false
 	}
@@ -116,9 +539,12 @@ func compatible(a, b *ctt.VData, noRel bool) ([]bool, bool) {
 			return nil, false
 		}
 	}
-	rel := make([]bool, len(a.Records))
+	if cap(st.relBuf) < len(a.Records) {
+		st.relBuf = make([]bool, len(a.Records))
+	}
+	rel := st.relBuf[:len(a.Records)]
 	for i := range a.Records {
-		r, ok := recordCompatible(a.Records[i], b.Records[i], noRel)
+		r, ok := recordCompatible(a.Records[i], b.Records[i], st.noRel)
 		if !ok {
 			return nil, false
 		}
@@ -154,10 +580,16 @@ func recordCompatible(a, b *ctt.CommRecord, noRel bool) (rel, ok bool) {
 	}
 	switch {
 	case a.RelEncoded || b.RelEncoded:
+		// A record poisoned RelUnsafe carries a PeerRel valid only for the
+		// first rank of its group; unifying it relatively would silently
+		// misattribute peers, so the pairing is rejected outright.
+		if a.RelUnsafe || b.RelUnsafe {
+			return false, false
+		}
 		return true, a.PeerRel == b.PeerRel
 	case ea.Peer == eb.Peer:
 		return false, true
-	case noRel:
+	case noRel, a.RelUnsafe, b.RelUnsafe:
 		return false, false
 	default:
 		// Absolute peers differ; the relative encoding may still unify them
@@ -167,21 +599,37 @@ func recordCompatible(a, b *ctt.CommRecord, noRel bool) (rel, ok bool) {
 }
 
 // unify folds b's volatile payload (time statistics) into a and applies the
-// relative encoding where needed.
-func unify(a, b *ctt.VData, rel []bool) {
+// relative encoding where needed. Records that unify absolutely despite
+// disagreeing relative encodings are poisoned RelUnsafe (their PeerRel is
+// stale for the widened group; see recordCompatible). It reports whether any
+// record was poisoned and whether any plain p2p record became rel-encoded,
+// so the caller can refresh the entry's fingerprint cache incrementally.
+func unify(a, b *ctt.VData, rel []bool) (poisoned, relSet bool) {
 	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
 		if rel[i] {
-			a.Records[i].RelEncoded = true
+			if !ra.RelEncoded && ra.Peers == nil {
+				relSet = true
+			}
+			ra.RelEncoded = true
+		} else if ra.Ev.Op.IsPointToPoint() && ra.Peers == nil && !ra.RelUnsafe {
+			if rb.RelUnsafe || ra.PeerRel != rb.PeerRel {
+				ra.RelUnsafe = true
+				poisoned = true
+			}
 		}
-		a.Records[i].Time.Merge(&b.Records[i].Time)
-		a.Records[i].Compute.Merge(&b.Records[i].Compute)
+		ra.Time.Merge(&rb.Time)
+		ra.Compute.Merge(&rb.Compute)
 	}
+	return poisoned, relSet
 }
 
 // AllNoRelative is All with the relative-ranking encoding disabled, for the
 // ablation benchmark quantifying how much that encoding contributes. It uses
 // the same parallel binary reduction as All, so the ablation isolates the
-// encoding's effect rather than also changing the merge schedule.
+// encoding's effect rather than also changing the merge schedule. (The
+// fingerprint fast paths are also bypassed: they encode the relative-first
+// unification policy, which is exactly what this ablation removes.)
 func AllNoRelative(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
 	return all(ctts, workers, true)
 }
@@ -197,6 +645,13 @@ func All(ctts []*ctt.RankCTT, workers int) (*Merged, error) {
 // semaphore admits at most `workers` concurrent goroutines; when the
 // semaphore is saturated the left half is reduced inline, so the recursion
 // degrades gracefully to the serial schedule instead of blocking.
+//
+// Leaves are built lazily as the depth-first recursion reaches them (see
+// leafCtx), so right-hand leaf storage is recycled and consumed leaf trees
+// die young instead of sitting in an up-front array until the reduction
+// passes them. Each spawned goroutine gets its own leafCtx; the recursion's
+// in-order schedule guarantees a lane's scratch leaf is consumed by the very
+// next Pair on that lane before another scratch leaf is built.
 func all(ctts []*ctt.RankCTT, workers int, noRel bool) (*Merged, error) {
 	if len(ctts) == 0 {
 		return nil, fmt.Errorf("merge: no trees")
@@ -204,43 +659,48 @@ func all(ctts []*ctt.RankCTT, workers int, noRel bool) (*Merged, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ms := make([]*Merged, len(ctts))
-	for i, c := range ctts {
-		ms[i] = FromRank(c)
-		ms[i].noRel = noRel
-	}
 	sem := make(chan struct{}, workers)
-	var reduce func(lo, hi int) (*Merged, error)
-	reduce = func(lo, hi int) (*Merged, error) {
+	var reduce func(x *leafCtx, lo, hi int, rightRole bool) (*Merged, error)
+	reduce = func(x *leafCtx, lo, hi int, rightRole bool) (*Merged, error) {
 		if hi-lo == 1 {
-			return ms[lo], nil
+			if rightRole {
+				return x.scratchLeaf(lo), nil
+			}
+			return x.durableLeaf(lo), nil
 		}
 		mid := (lo + hi) / 2
 		var left, right *Merged
 		var lerr, rerr error
-		var wg sync.WaitGroup
-		select {
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				left, lerr = reduce(lo, mid)
-			}()
-		default:
-			left, lerr = reduce(lo, mid)
+		if workers > 1 {
+			var wg sync.WaitGroup
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					left, lerr = reduce(&leafCtx{ctts: ctts, noRel: noRel}, lo, mid, false)
+				}()
+			default:
+				left, lerr = reduce(x, lo, mid, false)
+			}
+			right, rerr = reduce(x, mid, hi, true)
+			wg.Wait()
+		} else {
+			// Single-worker schedule: skip the goroutine machinery entirely
+			// (one closure + waitgroup per internal node otherwise).
+			left, lerr = reduce(x, lo, mid, false)
+			right, rerr = reduce(x, mid, hi, true)
 		}
-		right, rerr = reduce(mid, hi)
-		wg.Wait()
 		if lerr != nil {
 			return nil, lerr
 		}
 		if rerr != nil {
 			return nil, rerr
 		}
-		return Pair(left, right)
+		return x.pair(left, right)
 	}
-	return reduce(0, len(ms))
+	return reduce(&leafCtx{ctts: ctts, noRel: noRel}, 0, len(ctts), false)
 }
 
 // Serial merges without parallelism, for the ablation benchmark.

@@ -223,26 +223,115 @@ func (r *reader) i() int64 {
 
 func (r *reader) f() float64 { return math.Float64frombits(r.u()) }
 
-func (r *reader) runs() []stride.Run {
-	n := r.u()
-	if r.err != nil || n > 1<<24 {
-		if r.err == nil {
-			r.err = fmt.Errorf("merge: implausible run count %d", n)
+// decodeChunk is the allocation granularity of the decoder's slabs.
+const decodeChunk = 64
+
+// decodeEager caps how many list elements the decoder allocates before any of
+// them has decoded successfully. Element counts in the file are untrusted: a
+// few bytes can declare 2^26 records (~19GB of CommRecord storage), so lists
+// above this size are decoded in batches that each earn their allocation by
+// parsing, turning a tiny malicious input into a fast error instead of an
+// allocation storm. Well-formed lists below the cap take the exact-size path.
+const decodeEager = 4096
+
+func umin(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// decoder carries the varint reader plus the slab arenas the decoded tree is
+// carved from. A merged trace is decoded into a handful of shared chunks —
+// entries, rank sets, vertex payloads, records, int32 lists — instead of a
+// few heap objects per entry, mirroring the slab economics of the merge's
+// encode side. The scratch run buffer is reused across every run list in the
+// file; callers consume it before the next read.
+type decoder struct {
+	reader
+	runsBuf []stride.Run
+	entSlab []Entry
+	setSlab []rankset.Set
+	vdSlab  []ctt.VData
+	i32Slab []int32
+	arena   ctt.RecordArena
+}
+
+// runs reads a run list into the shared scratch buffer. The result is valid
+// until the next call.
+func (d *decoder) runs() []stride.Run {
+	n := d.u()
+	if d.err != nil || n > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("merge: implausible run count %d", n)
 		}
 		return nil
 	}
-	out := make([]stride.Run, n)
+	if uint64(cap(d.runsBuf)) < n {
+		d.runsBuf = make([]stride.Run, n)
+	}
+	out := d.runsBuf[:n]
 	for i := range out {
-		out[i].First = r.i()
-		out[i].Stride = r.i()
-		out[i].Count = int64(r.u())
+		out[i].First = d.i()
+		out[i].Stride = d.i()
+		out[i].Count = int64(d.u())
+		if d.err != nil {
+			return nil
+		}
 	}
 	return out
 }
 
-// Decode reads a merged tree written by Encode.
+// entries carves a length-n entry list out of the entry slab.
+func (d *decoder) entries(n int) []Entry {
+	if len(d.entSlab) < n {
+		size := decodeChunk
+		if n > size {
+			size = n
+		}
+		d.entSlab = make([]Entry, size)
+		d.setSlab = make([]rankset.Set, size)
+	}
+	out := d.entSlab[:n:n]
+	d.entSlab = d.entSlab[n:]
+	for k := range out {
+		out[k].Ranks = &d.setSlab[k]
+	}
+	d.setSlab = d.setSlab[n:]
+	return out
+}
+
+// vdata carves one vertex payload out of the payload slab.
+func (d *decoder) vdata() *ctt.VData {
+	if len(d.vdSlab) == 0 {
+		d.vdSlab = make([]ctt.VData, decodeChunk)
+	}
+	v := &d.vdSlab[0]
+	d.vdSlab = d.vdSlab[1:]
+	return v
+}
+
+// ints carves a length-n int32 list (request lists, peer periods) out of the
+// shared int32 slab.
+func (d *decoder) ints(n int) []int32 {
+	if len(d.i32Slab) < n {
+		size := 4 * decodeChunk
+		if n > size {
+			size = n
+		}
+		d.i32Slab = make([]int32, size)
+	}
+	out := d.i32Slab[:n:n]
+	d.i32Slab = d.i32Slab[n:]
+	return out
+}
+
+// Decode reads a merged tree written by Encode. The buffered reader is
+// pooled and the result is slab-backed (see decoder), so decoding allocates
+// a few chunks per tree rather than a few objects per entry.
 func Decode(in io.Reader) (*Merged, error) {
-	br := bufio.NewReaderSize(in, 1<<16)
+	br := encpool.GetBufioReader(in)
+	defer encpool.PutBufioReader(br)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("merge: reading magic: %w", err)
@@ -250,27 +339,28 @@ func Decode(in io.Reader) (*Merged, error) {
 	if magic != fileMagic {
 		return nil, fmt.Errorf("merge: bad magic %q", magic)
 	}
-	r := &reader{r: br}
-	if v := r.u(); v != fileVersion {
+	d := &decoder{reader: reader{r: br}}
+	if v := d.u(); v != fileVersion {
 		return nil, fmt.Errorf("merge: unsupported version %d", v)
 	}
 	m := &Merged{}
-	m.TreeHash = r.u()
-	m.NumRanks = int(r.u())
-	m.EventCount = int64(r.u())
-	hist := r.u() == 1
+	m.TreeHash = d.u()
+	m.NumRanks = int(d.u())
+	m.EventCount = int64(d.u())
+	hist := d.u() == 1
 	mode := timestat.ModeMeanStddev
 	if hist {
 		mode = timestat.ModeHistogram
 	}
-	treeLen := r.u()
-	if r.err != nil {
-		return nil, r.err
+	treeLen := d.u()
+	if d.err != nil {
+		return nil, d.err
 	}
 	if treeLen > 1<<28 {
 		return nil, fmt.Errorf("merge: implausible CST length %d", treeLen)
 	}
-	tree, err := cst.Decode(io.LimitReader(br, int64(treeLen)))
+	lr := io.LimitedReader{R: br, N: int64(treeLen)}
+	tree, err := cst.Decode(&lr)
 	if err != nil {
 		return nil, fmt.Errorf("merge: embedded CST: %w", err)
 	}
@@ -280,114 +370,173 @@ func Decode(in io.Reader) (*Merged, error) {
 	}
 	m.Entries = make([][]Entry, tree.NumVertices())
 	for gid := range m.Entries {
-		n := r.u()
-		if r.err != nil {
-			return nil, fmt.Errorf("merge: vertex %d: %w", gid, r.err)
+		n := d.u()
+		if d.err != nil {
+			return nil, fmt.Errorf("merge: vertex %d: %w", gid, d.err)
 		}
 		if n > 1<<24 {
 			return nil, fmt.Errorf("merge: vertex %d: implausible entry count %d", gid, n)
 		}
-		for k := uint64(0); k < n; k++ {
-			e := Entry{Ranks: rankset.FromRuns(r.runs()), Data: &ctt.VData{}}
-			decodeVData(r, e.Data, mode)
-			if r.err != nil {
-				return nil, fmt.Errorf("merge: vertex %d entry %d: %w", gid, k, r.err)
-			}
-			m.Entries[gid] = append(m.Entries[gid], e)
+		if n == 0 {
+			continue
 		}
+		// Lists up to decodeEager carve an exact-length block; larger declared
+		// counts earn their storage batch by batch (see decodeEager).
+		var es []Entry
+		if n > decodeEager {
+			es = make([]Entry, 0, decodeEager)
+		}
+		decoded := 0
+		for rem := n; rem > 0; {
+			b := umin(rem, decodeEager)
+			chunk := d.entries(int(b))
+			for k := range chunk {
+				d.entry(&chunk[k], mode)
+				if d.err != nil {
+					return nil, fmt.Errorf("merge: vertex %d entry %d: %w", gid, decoded+k, d.err)
+				}
+			}
+			if es == nil {
+				es = chunk
+			} else {
+				es = append(es, chunk...)
+			}
+			decoded += int(b)
+			rem -= b
+		}
+		m.Entries[gid] = es
 	}
 	return m, nil
 }
 
-func decodeVData(r *reader, d *ctt.VData, mode timestat.Mode) {
-	for _, run := range r.runs() {
-		d.Counts.AppendRun(run)
+// entry decodes one vertex-data entry in place.
+func (d *decoder) entry(e *Entry, mode timestat.Mode) {
+	e.Ranks.Load(d.runs())
+	e.Data = d.vdata()
+	d.decodeVData(e.Data, mode)
+}
+
+func (d *decoder) decodeVData(vd *ctt.VData, mode timestat.Mode) {
+	for _, run := range d.runs() {
+		vd.Counts.AppendRun(run)
 	}
-	for _, run := range r.runs() {
-		d.Taken.AppendRun(run)
+	for _, run := range d.runs() {
+		vd.Taken.AppendRun(run)
 	}
-	nc := r.u()
-	if r.err != nil || nc > 1<<24 {
-		if r.err == nil {
-			r.err = fmt.Errorf("implausible cycle count %d", nc)
+	nc := d.u()
+	if d.err != nil || nc > 1<<24 {
+		if d.err == nil {
+			d.err = fmt.Errorf("implausible cycle count %d", nc)
 		}
 		return
 	}
-	for j := uint64(0); j < nc; j++ {
-		d.Cycles = append(d.Cycles, ctt.Cycle{
-			Start: int32(r.u()), Len: int32(r.u()), Reps: int64(r.u()),
-		})
+	if nc > 0 {
+		vd.Cycles = make([]ctt.Cycle, 0, umin(nc, decodeEager))
+		for j := uint64(0); j < nc; j++ {
+			cy := ctt.Cycle{
+				Start: int32(d.u()), Len: int32(d.u()), Reps: int64(d.u()),
+			}
+			if d.err != nil {
+				return
+			}
+			vd.Cycles = append(vd.Cycles, cy)
+		}
 	}
-	n := r.u()
-	if r.err != nil || n > 1<<26 {
-		if r.err == nil {
-			r.err = fmt.Errorf("implausible record count %d", n)
+	n := d.u()
+	if d.err != nil || n > 1<<26 {
+		if d.err == nil {
+			d.err = fmt.Errorf("implausible record count %d", n)
 		}
 		return
 	}
-	for k := uint64(0); k < n; k++ {
-		// Records decode straight into the vertex's chunked slab, matching
-		// the runtime layout (and its allocation economics).
-		rec := d.NewRecord()
-		rec.Ev.Op = trace.Op(r.u())
-		flags := r.u()
-		rec.Ev.Wildcard = flags&1 != 0
-		rec.RelEncoded = flags&2 != 0
-		hasPeers := flags&4 != 0
-		rec.Ev.Size = int(r.u())
-		rec.Ev.Peer = int(r.i())
-		rec.PeerRel = int(r.i())
-		rec.Ev.Tag = int(r.u())
-		rec.Ev.Comm = int(r.u())
-		rec.Count = int64(r.u())
-		rec.Ev.ReqID = -1
-		nq := r.u()
-		if r.err != nil || nq > 1<<24 {
-			if r.err == nil {
-				r.err = fmt.Errorf("implausible req count %d", nq)
+	// Records decode into the decoder's shared arena: each vertex's record
+	// count is known up front, so the arena carves exact-length pointer lists
+	// backed by chunked record storage. Counts above decodeEager are earned
+	// batch by batch like entry lists.
+	if n > decodeEager {
+		vd.Records = make([]*ctt.CommRecord, 0, decodeEager)
+	}
+	for rem := n; rem > 0; {
+		b := umin(rem, decodeEager)
+		chunk := d.arena.Alloc(int(b))
+		for _, rec := range chunk {
+			d.record(rec, mode)
+			if d.err != nil {
+				return
+			}
+		}
+		if vd.Records == nil {
+			vd.Records = chunk
+		} else {
+			vd.Records = append(vd.Records, chunk...)
+		}
+		rem -= b
+	}
+}
+
+// record decodes one comm record in place.
+func (d *decoder) record(rec *ctt.CommRecord, mode timestat.Mode) {
+	rec.Ev.Op = trace.Op(d.u())
+	flags := d.u()
+	rec.Ev.Wildcard = flags&1 != 0
+	rec.RelEncoded = flags&2 != 0
+	hasPeers := flags&4 != 0
+	rec.Ev.Size = int(d.u())
+	rec.Ev.Peer = int(d.i())
+	rec.PeerRel = int(d.i())
+	rec.Ev.Tag = int(d.u())
+	rec.Ev.Comm = int(d.u())
+	rec.Count = int64(d.u())
+	rec.Ev.ReqID = -1
+	nq := d.u()
+	if d.err != nil || nq > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("implausible req count %d", nq)
+		}
+		return
+	}
+	if nq > 0 {
+		rec.Ev.Reqs = d.ints(int(nq))
+		for j := range rec.Ev.Reqs {
+			rec.Ev.Reqs[j] = int32(d.i())
+		}
+	}
+	if hasPeers {
+		np := d.u()
+		if d.err != nil || np > 1<<20 {
+			if d.err == nil {
+				d.err = fmt.Errorf("implausible peer period %d", np)
 			}
 			return
 		}
-		for j := uint64(0); j < nq; j++ {
-			rec.Ev.Reqs = append(rec.Ev.Reqs, int32(r.i()))
+		period := d.ints(int(np))
+		for j := range period {
+			period[j] = int32(d.i())
 		}
-		if hasPeers {
-			np := r.u()
-			if r.err != nil || np > 1<<24 {
-				if r.err == nil {
-					r.err = fmt.Errorf("implausible peer period %d", np)
-				}
-				return
-			}
-			period := make([]int32, np)
-			for j := range period {
-				period[j] = int32(r.i())
-			}
-			rec.Peers = &ctt.PeerPattern{Period: period}
-		}
-		st := timestat.Make(mode)
-		st.N = int64(r.u())
-		st.Mean = r.f()
-		_ = r.f() // stddev is recomputable only approximately; keep mean/min/max
-		st.Min = r.f()
-		st.Max = r.f()
-		rec.Compute = timestat.MeanSeeded(r.f(), st.N)
-		if mode == timestat.ModeHistogram {
-			nz := r.u()
-			if r.err != nil || nz > timestat.HistBuckets {
-				if r.err == nil {
-					r.err = fmt.Errorf("implausible histogram bucket count %d", nz)
-				}
-				return
-			}
-			for j := uint64(0); j < nz; j++ {
-				idx := r.u()
-				cnt := r.u()
-				if idx < timestat.HistBuckets {
-					st.Hist[idx] = uint32(cnt)
-				}
-			}
-		}
-		rec.Time = st
+		rec.Peers = &ctt.PeerPattern{Period: period}
 	}
+	st := timestat.Make(mode)
+	st.N = int64(d.u())
+	st.Mean = d.f()
+	_ = d.f() // stddev is recomputable only approximately; keep mean/min/max
+	st.Min = d.f()
+	st.Max = d.f()
+	rec.Compute = timestat.MeanSeeded(d.f(), st.N)
+	if mode == timestat.ModeHistogram {
+		nz := d.u()
+		if d.err != nil || nz > timestat.HistBuckets {
+			if d.err == nil {
+				d.err = fmt.Errorf("implausible histogram bucket count %d", nz)
+			}
+			return
+		}
+		for j := uint64(0); j < nz; j++ {
+			idx := d.u()
+			cnt := d.u()
+			if idx < timestat.HistBuckets {
+				st.Hist[idx] = uint32(cnt)
+			}
+		}
+	}
+	rec.Time = st
 }

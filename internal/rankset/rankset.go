@@ -8,9 +8,9 @@ package rankset
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/fp"
 	"repro/internal/stride"
 )
 
@@ -26,6 +26,18 @@ func Single(r int) *Set {
 	s.s.Add(int64(r))
 	return &s
 }
+
+// InitSingle (re)initializes s in place to the one-member set {r} without
+// heap allocation, letting callers carve per-entry sets out of slabs.
+func (s *Set) InitSingle(r int) {
+	s.s = stride.Set{}
+	s.s.Add(int64(r))
+}
+
+// SeedSingle adds r to s, which the caller guarantees is zero-valued (freshly
+// slab-carved): InitSingle minus the redundant receiver reset, on the merge's
+// leaf-building hot path.
+func (s *Set) SeedSingle(r int) { s.s.Add(int64(r)) }
 
 // Range returns the set {lo, lo+1, ..., hi}. It panics when hi < lo.
 func Range(lo, hi int) *Set {
@@ -70,29 +82,128 @@ func (s *Set) Min() int {
 	return int(s.s.Runs()[0].First)
 }
 
+// max returns the largest member. Caller guarantees the set is non-empty.
+func (s *Set) max() int64 {
+	runs := s.s.Runs()
+	return runs[len(runs)-1].Last()
+}
+
+// TryAppend extends s in place with o's members when every member of o is
+// strictly greater than every member of s (the common case in the binary
+// merge reduction, where the right half's ranks all exceed the left half's).
+// It reports whether the append happened; when it returns false, s is
+// unchanged and the caller must fall back to Union. The run structure after a
+// successful append is identical to adding o's members one by one, so sets
+// built through TryAppend stay canonical (byte-stable serialization).
+func (s *Set) TryAppend(o *Set) bool {
+	if o.s.Len() == 0 {
+		return true
+	}
+	if s.s.Len() > 0 && int64(o.Min()) <= s.max() {
+		return false
+	}
+	for _, r := range o.s.Runs() {
+		s.s.Vector.ExtendCanonical(r)
+	}
+	return true
+}
+
 // Union returns the union of two sets. Members are merged and re-encoded; the
 // operands are unchanged. Inputs are disjoint in the merge algorithm, but
 // Union tolerates overlap for robustness.
+//
+// When the operands occupy disjoint, ordered value ranges — the overwhelmingly
+// common case in the merge's binary reduction, where each half covers a
+// contiguous block of ranks — the union concatenates the run lists directly
+// in O(runs) without materializing members. The general overlapping case
+// falls back to a two-cursor merge over run values.
 func Union(a, b *Set) *Set {
-	am, bm := a.Members(), b.Members()
-	all := make([]int, 0, len(am)+len(bm))
-	all = append(all, am...)
-	all = append(all, bm...)
-	sort.Ints(all)
 	var out Set
-	prev := -1 << 62
-	for _, r := range all {
-		if r == prev {
-			continue
+	switch {
+	case a.s.Len() == 0:
+		for _, r := range b.s.Runs() {
+			out.s.Vector.ExtendCanonical(r)
 		}
-		out.s.Add(int64(r))
-		prev = r
+	case b.s.Len() == 0:
+		for _, r := range a.s.Runs() {
+			out.s.Vector.ExtendCanonical(r)
+		}
+	case a.max() < int64(b.Min()):
+		for _, r := range a.s.Runs() {
+			out.s.Vector.ExtendCanonical(r)
+		}
+		for _, r := range b.s.Runs() {
+			out.s.Vector.ExtendCanonical(r)
+		}
+	case b.max() < int64(a.Min()):
+		for _, r := range b.s.Runs() {
+			out.s.Vector.ExtendCanonical(r)
+		}
+		for _, r := range a.s.Runs() {
+			out.s.Vector.ExtendCanonical(r)
+		}
+	default:
+		unionOverlap(&out, a, b)
 	}
 	return &out
 }
 
+// unionOverlap merges two interleaved sets value by value with a two-cursor
+// walk over their runs, deduplicating as it goes. O(|a|+|b|) values, but only
+// reached when rank ranges interleave, which the reduction never produces.
+func unionOverlap(out *Set, a, b *Set) {
+	ar, br := a.s.Runs(), b.s.Runs()
+	var ai, bi int
+	var aj, bj int64 // index within current run
+	prev := int64(-1) << 62
+	emit := func(v int64) {
+		if v != prev {
+			out.s.Vector.Append(v)
+			prev = v
+		}
+	}
+	for ai < len(ar) && bi < len(br) {
+		av, bv := ar[ai].At(aj), br[bi].At(bj)
+		if av <= bv {
+			emit(av)
+			if aj++; aj == ar[ai].Count {
+				ai, aj = ai+1, 0
+			}
+		} else {
+			emit(bv)
+			if bj++; bj == br[bi].Count {
+				bi, bj = bi+1, 0
+			}
+		}
+	}
+	for ; ai < len(ar); ai, aj = ai+1, 0 {
+		for ; aj < ar[ai].Count; aj++ {
+			emit(ar[ai].At(aj))
+		}
+	}
+	for ; bi < len(br); bi, bj = bi+1, 0 {
+		for ; bj < br[bi].Count; bj++ {
+			emit(br[bi].At(bj))
+		}
+	}
+}
+
 // Equal reports set equality.
 func (s *Set) Equal(o *Set) bool { return s.s.Equal(&o.s.Vector) }
+
+// Hash folds the set's canonical run structure into h. Sets that compare
+// Equal fold identically.
+func (s *Set) Hash(h fp.Hash) fp.Hash { return s.s.Vector.Hash(h) }
+
+// Load (re)builds the set in place from serialized runs, reusing the
+// receiver's storage. Used by the slab-backed decoder, which carves Set
+// values out of chunks instead of allocating one per entry.
+func (s *Set) Load(runs []stride.Run) {
+	s.s = stride.Set{}
+	for _, r := range runs {
+		s.s.AppendRun(r)
+	}
+}
 
 // Runs exposes the underlying stride runs for serialization.
 func (s *Set) Runs() []stride.Run { return s.s.Runs() }

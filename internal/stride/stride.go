@@ -15,8 +15,9 @@ package stride
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"repro/internal/fp"
 )
 
 // Run is a maximal arithmetic subsequence: Count values starting at First
@@ -49,12 +50,10 @@ const inlineRuns = 2
 // once spilled, copies share the heap run storage (as the pre-inline
 // implementation always did), so treat copies as read-only views.
 type Vector struct {
-	inl    [inlineRuns]Run
-	heap   []Run   // non-nil once the sequence needs more than inlineRuns runs
-	nr     int32   // number of runs (in inl[:nr] or heap, never both)
-	n      int64   // total number of values
-	prefix []int64 // prefix[i] = number of values in runs[:i]; lazily rebuilt
-	dirty  bool    // prefix out of date
+	inl  [inlineRuns]Run
+	heap []Run // non-nil once the sequence needs more than inlineRuns runs
+	nr   int32 // number of runs (in inl[:nr] or heap, never both)
+	n    int64 // total number of values
 }
 
 // view returns the current runs without copying. The slice aliases either the
@@ -109,7 +108,6 @@ func (v *Vector) Runs() []Run { return v.view() }
 // append after the second in a constant-stride sequence — are allocation-free.
 func (v *Vector) Append(x int64) {
 	v.n++
-	v.dirty = true
 	if v.nr == 0 {
 		v.pushRun(Run{First: x, Count: 1})
 		return
@@ -138,7 +136,6 @@ func (v *Vector) AppendRun(r Run) {
 		return
 	}
 	v.n += r.Count
-	v.dirty = true
 	if v.nr > 0 {
 		last := v.lastRun()
 		if last.Stride == r.Stride && last.Last()+last.Stride == r.First {
@@ -149,17 +146,69 @@ func (v *Vector) AppendRun(r Run) {
 	v.pushRun(r)
 }
 
-func (v *Vector) rebuild() {
-	if !v.dirty {
+// ExtendCanonical appends the run's values as if by repeated Append, in O(1)
+// amortized time: at most three leading values go through Append (enough for
+// stride adoption and run merging to settle), then the remainder extends the
+// final run in bulk. Vectors built through ExtendCanonical therefore compare
+// Equal to vectors built value-by-value from the same sequence — the
+// property the merge's rank-set fast path relies on for byte-stable output.
+func (v *Vector) ExtendCanonical(r Run) {
+	if r.Count <= 0 {
 		return
 	}
-	v.prefix = v.prefix[:0]
-	var c int64
-	for _, r := range v.view() {
-		v.prefix = append(v.prefix, c)
-		c += r.Count
+	if v.nr > 0 {
+		// Bulk fast path: the run continues the final run's progression, so
+		// every value would extend it — exactly what repeated Append does to
+		// a run with Count >= 2 (singletons adopt strides and need the
+		// general path below). This is the steady state of the merge's
+		// rank-set growth: appending the next contiguous rank block.
+		last := v.lastRun()
+		if last.Count > 1 && last.Last()+last.Stride == r.First &&
+			(r.Count == 1 || r.Stride == last.Stride) {
+			last.Count += r.Count
+			v.n += r.Count
+			return
+		}
 	}
-	v.dirty = false
+	lead := r.Count
+	if lead > 3 {
+		lead = 3
+	}
+	for i := int64(0); i < lead; i++ {
+		v.Append(r.At(i))
+	}
+	if r.Count <= 3 {
+		return
+	}
+	// After three appends of an arithmetic sequence with stride r.Stride,
+	// the final run provably ends at r.At(2) with stride r.Stride, so the
+	// remaining values extend it directly.
+	last := v.lastRun()
+	rest := r.Count - 3
+	last.Count += rest
+	v.n += rest
+}
+
+// Hash folds the vector's canonical structure into h. Vectors that compare
+// Equal fold identically: singleton runs fold a zero stride, mirroring
+// Equal's stride-insensitivity for Count==1 runs.
+func (v *Vector) Hash(h fp.Hash) fp.Hash {
+	h = h.Word(uint64(v.n))
+	if v.n == 0 {
+		// Only the empty vector has n == 0, so the single length word is an
+		// injective encoding; skipping the run fold keeps the hot merge
+		// fingerprint cheap for the empty Counts/Taken of comm leaves.
+		return h
+	}
+	h = h.Word(uint64(v.nr))
+	for _, r := range v.view() {
+		s := r.Stride
+		if r.Count == 1 {
+			s = 0
+		}
+		h = h.Int(r.First).Int(s).Int(r.Count)
+	}
+	return h
 }
 
 // SetLast replaces the final value of the sequence. It panics when empty.
@@ -173,19 +222,27 @@ func (v *Vector) SetLast(x int64) {
 	if last.Count == 0 {
 		v.popRun()
 	}
-	v.dirty = true
 	v.Append(x)
 }
 
 // At returns the i-th value. It panics when i is out of range.
+//
+// The lookup scans runs linearly. Compressed sequences have very few runs —
+// that is the point of the encoding — so a scan beats maintaining a prefix
+// index, which would cost every Vector a slice header and every mutation a
+// dirty bit (rank sets alone allocate one Vector per merge entry).
 func (v *Vector) At(i int64) int64 {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("stride: index %d out of range [0,%d)", i, v.n))
 	}
-	v.rebuild()
-	// Find the run containing index i.
-	k := sort.Search(len(v.prefix), func(j int) bool { return v.prefix[j] > i }) - 1
-	return v.view()[k].At(i - v.prefix[k])
+	rem := i
+	for _, r := range v.view() {
+		if rem < r.Count {
+			return r.At(rem)
+		}
+		rem -= r.Count
+	}
+	panic("stride: unreachable")
 }
 
 // Values materializes the full sequence. Intended for tests and small dumps.

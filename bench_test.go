@@ -52,6 +52,25 @@ func BenchmarkMergeAll1024(b *testing.B)    { bench.BenchMergeAll1024(b) }
 func BenchmarkMergeAll4096(b *testing.B)    { bench.BenchMergeAll4096(b) }
 func BenchmarkDecode(b *testing.B)          { bench.BenchDecode(b) }
 
+// Streaming decompression benchmarks (bodies in internal/bench/replaybench.go):
+// each streaming path is paired with its pre-streaming reference
+// (Walk / Materialized) so before/after comparisons stay runnable.
+
+func BenchmarkReplayRank(b *testing.B)     { bench.BenchReplayRank(b) }
+func BenchmarkReplayRankWalk(b *testing.B) { bench.BenchReplayRankWalk(b) }
+func BenchmarkPredict256(b *testing.B)     { bench.BenchPredict256(b) }
+func BenchmarkPredict1024(b *testing.B)    { bench.BenchPredict1024(b) }
+func BenchmarkPredictMaterialized256(b *testing.B) {
+	bench.BenchPredictMaterialized256(b)
+}
+func BenchmarkPredictMaterialized1024(b *testing.B) {
+	bench.BenchPredictMaterialized1024(b)
+}
+func BenchmarkCommMatrix1024(b *testing.B) { bench.BenchCommMatrix1024(b) }
+func BenchmarkCommMatrixMaterialized1024(b *testing.B) {
+	bench.BenchCommMatrixMaterialized1024(b)
+}
+
 // BenchmarkPipelineCompile measures the static analysis module end to end
 // (parse, check, lower, CFG analyses, CST build) on the largest skeleton.
 func BenchmarkPipelineCompile(b *testing.B) {

@@ -1,31 +1,48 @@
 // Command cypressreplay decompresses a CYPRESS trace file (paper Section V):
-// it can print one rank's exact event sequence, the job's communication
-// matrix, or feed the decompressed traces to the LogGP simulator for a
-// performance prediction.
+// it can print one rank's (or every rank's) exact event sequence, the job's
+// communication matrix, or feed the decompressed traces to the LogGP
+// simulator for a performance prediction.
 //
 // Usage:
 //
-//	cypressreplay -rank 3 run.cyp        # print rank 3's event sequence
-//	cypressreplay -matrix run.cyp        # communication volume matrix
-//	cypressreplay -predict run.cyp       # LogGP performance prediction
+//	cypressreplay -rank 3 run.cyp          # print rank 3's event sequence
+//	cypressreplay -rank all run.cyp        # print every rank's sequence
+//	cypressreplay -matrix run.cyp          # communication volume matrix
+//	cypressreplay -predict run.cyp         # LogGP performance prediction
+//	cypressreplay -stream -par 8 ...       # streaming replay, 8-way parallel
+//
+// -stream routes every mode through the streaming replayer (resolved views +
+// shared replay skeletons, no full per-rank materialization); -par N bounds
+// the parallel rank fan-out (0 = GOMAXPROCS). The printed output is identical
+// with and without -stream.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	cypress "repro"
+	"repro/internal/merge"
 	"repro/internal/mpisim"
 	"repro/internal/replay"
 	"repro/internal/simmpi"
 	"repro/internal/trace"
 )
 
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cypressreplay:", err)
+	os.Exit(1)
+}
+
 func main() {
-	rank := flag.Int("rank", -1, "print this rank's decompressed events")
+	rankFlag := flag.String("rank", "", "print this rank's decompressed events, or \"all\" for every rank")
 	matrix := flag.Bool("matrix", false, "print the communication volume matrix")
 	predict := flag.Bool("predict", false, "run the LogGP performance prediction")
+	stream := flag.Bool("stream", false, "use the streaming replayer (shared skeletons, no materialization)")
+	par := flag.Int("par", 1, "parallel rank fan-out for -stream modes (0 = GOMAXPROCS)")
 	limit := flag.Int("limit", 50, "max events to print per rank (0 = all)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -34,73 +51,52 @@ func main() {
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cypressreplay:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer f.Close()
 	m, err := cypress.ReadTrace(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cypressreplay:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("trace: ranks=%d events=%d cst-vertices=%d\n",
 		m.NumRanks, m.EventCount, m.Tree.NumVertices())
 
 	switch {
-	case *rank >= 0:
-		if *rank >= m.NumRanks {
-			fmt.Fprintf(os.Stderr, "cypressreplay: rank %d out of range [0,%d)\n", *rank, m.NumRanks)
+	case *rankFlag != "":
+		if *rankFlag == "all" {
+			printAll(m, *stream, *par, *limit)
+			return
+		}
+		rank, err := strconv.Atoi(*rankFlag)
+		if err != nil || rank < 0 {
+			fmt.Fprintf(os.Stderr, "cypressreplay: -rank wants a rank number or \"all\", got %q\n", *rankFlag)
 			os.Exit(2)
 		}
-		printed := 0
-		err := replay.Events(m.ForRank(*rank), *rank, func(e *trace.Event) {
-			if *limit > 0 && printed >= *limit {
-				return
-			}
-			fmt.Printf("  %6d: %s dur=%.0fns\n", printed, e.String(), e.DurationNS)
-			printed++
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cypressreplay:", err)
-			os.Exit(1)
+		if rank >= m.NumRanks {
+			fmt.Fprintf(os.Stderr, "cypressreplay: rank %d out of range [0,%d)\n", rank, m.NumRanks)
+			os.Exit(2)
 		}
+		var buf bytes.Buffer
+		if err := printRank(&buf, m, *stream, rank, *limit); err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(buf.Bytes())
 	case *matrix:
-		n := m.NumRanks
-		vol := make([][]int64, n)
-		for i := range vol {
-			vol[i] = make([]int64, n)
+		vol, err := commMatrix(m, *stream, *par)
+		if err != nil {
+			fail(err)
 		}
-		for r := 0; r < n; r++ {
-			err := replay.Events(m.ForRank(r), r, func(e *trace.Event) {
-				if e.Op.IsSendLike() && e.Peer >= 0 && e.Peer < n {
-					vol[r][e.Peer] += int64(e.Size)
-				}
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cypressreplay:", err)
-				os.Exit(1)
-			}
-		}
-		for r := 0; r < n; r++ {
-			for c := 0; c < n; c++ {
+		for r := 0; r < m.NumRanks; r++ {
+			for c := 0; c < m.NumRanks; c++ {
 				if vol[r][c] > 0 {
 					fmt.Printf("  %d -> %d: %d bytes\n", r, c, vol[r][c])
 				}
 			}
 		}
 	case *predict:
-		seqs := make([][]trace.Event, m.NumRanks)
-		for r := range seqs {
-			seqs[r], err = replay.Sequence(m.ForRank(r), r)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cypressreplay:", err)
-				os.Exit(1)
-			}
-		}
-		res, err := simmpi.Simulate(seqs, mpisim.DefaultParams())
+		res, err := predictRun(m, *stream, *par)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cypressreplay:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("predicted execution time: %.3fms (communication %.1f%%)\n",
 			res.TotalNS/1e6, 100*res.CommFraction())
@@ -108,4 +104,123 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cypressreplay: pick one of -rank, -matrix, -predict")
 		os.Exit(2)
 	}
+}
+
+// printRank formats one rank's first -limit events into w.
+func printRank(w *bytes.Buffer, m *merge.Merged, stream bool, rank, limit int) error {
+	printed := 0
+	emit := func(e *trace.Event) {
+		if limit > 0 && printed >= limit {
+			return
+		}
+		fmt.Fprintf(w, "  %6d: %s dur=%.0fns\n", printed, e.String(), e.DurationNS)
+		printed++
+	}
+	if stream {
+		return merge.NewStreamer(m).Replay(rank, emit)
+	}
+	return replay.Events(m.ForRank(rank), rank, emit)
+}
+
+// printAll prints every rank's sequence in rank order. Under -stream with
+// parallelism, ranks replay concurrently into per-rank buffers (events of one
+// rank arrive in order on one goroutine) and print in order afterwards.
+func printAll(m *merge.Merged, stream bool, par, limit int) {
+	bufs := make([]bytes.Buffer, m.NumRanks)
+	if stream {
+		s := merge.NewStreamer(m)
+		printed := make([]int, m.NumRanks)
+		err := s.ReplayAll(par, func(rank int, e *trace.Event) {
+			if limit > 0 && printed[rank] >= limit {
+				return
+			}
+			fmt.Fprintf(&bufs[rank], "  %6d: %s dur=%.0fns\n", printed[rank], e.String(), e.DurationNS)
+			printed[rank]++
+		})
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		for rank := 0; rank < m.NumRanks; rank++ {
+			if err := printRank(&bufs[rank], m, false, rank, limit); err != nil {
+				fail(err)
+			}
+		}
+	}
+	for rank := range bufs {
+		fmt.Printf("rank %d:\n", rank)
+		os.Stdout.Write(bufs[rank].Bytes())
+	}
+}
+
+// commMatrix accumulates the send-volume matrix; a send to a peer outside
+// [0, ranks) is an error in both paths (the trace disagrees with its own rank
+// count), matching cypress.Result.CommMatrix.
+func commMatrix(m *merge.Merged, stream bool, par int) ([][]int64, error) {
+	n := m.NumRanks
+	vol := make([][]int64, n)
+	for i := range vol {
+		vol[i] = make([]int64, n)
+	}
+	peerErrs := make([]error, n)
+	acc := func(rank int, e *trace.Event) {
+		if !e.Op.IsSendLike() {
+			return
+		}
+		if e.Peer < 0 || e.Peer >= n {
+			if peerErrs[rank] == nil {
+				peerErrs[rank] = fmt.Errorf("rank %d %v to peer %d outside [0,%d)", rank, e.Op, e.Peer, n)
+			}
+			return
+		}
+		vol[rank][e.Peer] += int64(e.Size)
+	}
+	if stream {
+		if err := merge.NewStreamer(m).ReplayAll(par, acc); err != nil {
+			return nil, err
+		}
+	} else {
+		for rank := 0; rank < n; rank++ {
+			err := replay.Events(m.ForRank(rank), rank, func(e *trace.Event) { acc(rank, e) })
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, perr := range peerErrs {
+		if perr != nil {
+			return nil, perr
+		}
+	}
+	return vol, nil
+}
+
+// predictRun feeds the decompressed traces to the LogGP simulator, either by
+// materializing every rank (legacy) or by streaming pull cursors over shared
+// skeletons prepared in parallel.
+func predictRun(m *merge.Merged, stream bool, par int) (simmpi.Result, error) {
+	if stream {
+		s := merge.NewStreamer(m)
+		if err := s.Prepare(par); err != nil {
+			return simmpi.Result{}, err
+		}
+		srcs := make([]simmpi.EventSource, s.NumRanks())
+		for rank := range srcs {
+			cur, err := s.Cursor(rank)
+			if err != nil {
+				return simmpi.Result{}, err
+			}
+			srcs[rank] = cur
+		}
+		return simmpi.SimulateStream(srcs, mpisim.DefaultParams())
+	}
+	seqs := make([][]trace.Event, m.NumRanks)
+	for r := range seqs {
+		seq, err := replay.Sequence(m.ForRank(r), r)
+		if err != nil {
+			return simmpi.Result{}, err
+		}
+		seqs[r] = seq
+	}
+	return simmpi.Simulate(seqs, mpisim.DefaultParams())
 }

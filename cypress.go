@@ -18,6 +18,7 @@ package cypress
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
@@ -106,6 +107,17 @@ type Result struct {
 	// Raw holds per-rank uncompressed event streams when Options.KeepRaw.
 	Raw    [][]trace.Event
 	params mpisim.Params
+
+	streamOnce sync.Once
+	stream     *merge.Streamer
+}
+
+// Streamer returns the lazily-built streaming replayer over the merged tree.
+// It is shared by Replay, Predict, and CommMatrix, so selection classes and
+// replay skeletons are discovered once and reused across every consumer.
+func (r *Result) Streamer() *merge.Streamer {
+	r.streamOnce.Do(func() { r.stream = merge.NewStreamer(r.Merged) })
+	return r.stream
 }
 
 // Trace executes the program on nprocs simulated ranks under CYPRESS
@@ -148,17 +160,64 @@ func (p *Program) Trace(nprocs int, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// Replay decompresses one rank's exact event sequence (paper Section V).
+// Replay decompresses one rank's exact event sequence (paper Section V). It
+// runs through the streaming replayer: the first rank of a selection class
+// pays one tree walk, every later rank of the class is a flat skeleton scan.
+// The sequence is byte-identical to replay.Sequence over Merged.ForRank.
 func (r *Result) Replay(rank int) ([]trace.Event, error) {
-	return replay.Sequence(r.Merged.ForRank(rank), rank)
+	var out []trace.Event
+	err := r.Streamer().Replay(rank, func(e *trace.Event) {
+		out = append(out, *e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplayEvents streams rank's event sequence into emit without materializing
+// it. The event pointer is only valid during the callback.
+func (r *Result) ReplayEvents(rank int, emit func(e *trace.Event)) error {
+	return r.Streamer().Replay(rank, emit)
 }
 
 // Predict decompresses every rank and runs the LogGP trace-driven simulator,
-// returning the predicted job performance (paper Figure 14's pipeline).
+// returning the predicted job performance (paper Figure 14's pipeline). It is
+// PredictPar with the default worker count.
 func (r *Result) Predict() (simmpi.Result, error) {
+	return r.PredictPar(0)
+}
+
+// PredictPar is Predict with an explicit worker bound for the parallel
+// skeleton-preparation phase (workers <= 0 uses GOMAXPROCS). Rank sequences
+// are fed to the simulator as pull iterators over shared replay skeletons, so
+// peak memory is O(classes · events-per-rank) instead of O(ranks ·
+// events-per-rank); the simulation itself is the sequential discrete-event
+// engine and its result is identical to simulating materialized sequences.
+func (r *Result) PredictPar(workers int) (simmpi.Result, error) {
+	s := r.Streamer()
+	if err := s.Prepare(workers); err != nil {
+		return simmpi.Result{}, err
+	}
+	srcs := make([]simmpi.EventSource, s.NumRanks())
+	for rank := range srcs {
+		cur, err := s.Cursor(rank)
+		if err != nil {
+			return simmpi.Result{}, err
+		}
+		srcs[rank] = cur
+	}
+	return simmpi.SimulateStream(srcs, r.params)
+}
+
+// PredictMaterialized is the pre-streaming reference implementation of
+// Predict: decompress every rank into a full []trace.Event, then simulate.
+// Kept for verification and benchmarking against the streaming path; both
+// must produce identical results.
+func (r *Result) PredictMaterialized() (simmpi.Result, error) {
 	seqs := make([][]trace.Event, r.Merged.NumRanks)
 	for rank := range seqs {
-		seq, err := r.Replay(rank)
+		seq, err := replay.Sequence(r.Merged.ForRank(rank), rank)
 		if err != nil {
 			return simmpi.Result{}, err
 		}
@@ -185,25 +244,81 @@ func ReadTrace(rd io.Reader) (*merge.Merged, error) {
 
 // CommMatrix accumulates the communication volume matrix (bytes sent from
 // row to column) from the decompressed trace — the analysis behind the
-// paper's Figures 17 and 20.
+// paper's Figures 17 and 20. It is CommMatrixPar with the default worker
+// count. A send event whose peer lies outside [0, ranks) is an error, not a
+// silently dropped sample: replayed sends always carry a concrete peer, so an
+// out-of-range peer means the trace and the rank count disagree.
 func (r *Result) CommMatrix() ([][]int64, error) {
+	return r.CommMatrixPar(0)
+}
+
+// CommMatrixPar is CommMatrix with an explicit worker bound (workers <= 0
+// uses GOMAXPROCS). Ranks are replayed concurrently, each accumulating into
+// its own matrix row in-flight — nothing is materialized and no locking is
+// needed, because events of one rank arrive in order on a single goroutine.
+func (r *Result) CommMatrixPar(workers int) ([][]int64, error) {
+	s := r.Streamer()
+	n := s.NumRanks()
+	mat := make([][]int64, n)
+	for i := range mat {
+		mat[i] = make([]int64, n)
+	}
+	peerErrs := make([]error, n) // one slot per rank: written only by its lane
+	err := s.ReplayAll(workers, func(rank int, e *trace.Event) {
+		if !e.Op.IsSendLike() {
+			return
+		}
+		if e.Peer < 0 || e.Peer >= n {
+			if peerErrs[rank] == nil {
+				peerErrs[rank] = commPeerError(rank, e, n)
+			}
+			return
+		}
+		mat[rank][e.Peer] += int64(e.Size)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, perr := range peerErrs {
+		if perr != nil {
+			return nil, perr
+		}
+	}
+	return mat, nil
+}
+
+// CommMatrixMaterialized is the pre-streaming reference implementation:
+// serial, one fully materialized sequence per rank. Kept for verification and
+// benchmarking against the streaming path; it applies the same out-of-range
+// peer check, and both must produce identical matrices.
+func (r *Result) CommMatrixMaterialized() ([][]int64, error) {
 	n := r.Merged.NumRanks
 	mat := make([][]int64, n)
 	for i := range mat {
 		mat[i] = make([]int64, n)
 	}
 	for rank := 0; rank < n; rank++ {
-		seq, err := r.Replay(rank)
+		seq, err := replay.Sequence(r.Merged.ForRank(rank), rank)
 		if err != nil {
 			return nil, err
 		}
-		for _, e := range seq {
-			if e.Op.IsSendLike() && e.Peer >= 0 && e.Peer < n {
-				mat[rank][e.Peer] += int64(e.Size)
+		for i := range seq {
+			e := &seq[i]
+			if !e.Op.IsSendLike() {
+				continue
 			}
+			if e.Peer < 0 || e.Peer >= n {
+				return nil, commPeerError(rank, e, n)
+			}
+			mat[rank][e.Peer] += int64(e.Size)
 		}
 	}
 	return mat, nil
+}
+
+func commPeerError(rank int, e *trace.Event, n int) error {
+	return fmt.Errorf("cypress: comm matrix: rank %d %v to peer %d outside [0,%d)",
+		rank, e.Op, e.Peer, n)
 }
 
 // Workload returns a named NPB/LESlie3d communication skeleton from the

@@ -2,9 +2,11 @@ package cypress
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 const jacobi = `
@@ -146,5 +148,125 @@ func TestHistogramTimeMode(t *testing.T) {
 	}
 	if _, err := p.Trace(4, Options{TimeMode: TimeHistogram}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ringExchange is a simulatable wraparound exchange with three selection
+// classes (interior ranks plus the two wraparound edges), used to check the
+// streaming pipeline against the materializing reference implementations.
+const ringExchange = `
+func main() {
+	for var k = 0; k < 6; k = k + 1 {
+		isend((rank + 1) % size, 4096, 1);
+		irecv((rank + size - 1) % size, 4096, 1);
+		waitall();
+		compute(20000);
+	}
+	allreduce(8);
+}`
+
+// TestStreamingMatchesMaterialized pins the tentpole guarantee end to end:
+// the streaming Replay/Predict/CommMatrix paths produce exactly what the
+// pre-streaming materializing implementations produce, at 7 and 64 ranks,
+// for both the open-chain jacobi and the wraparound ring.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		n    int
+	}{
+		{"jacobi7", jacobi, 7},
+		{"jacobi64", jacobi, 64},
+		{"ring7", ringExchange, 7},
+		{"ring64", ringExchange, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Trace(tc.n, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rank := 0; rank < tc.n; rank++ {
+				want, err := replay.Sequence(res.Merged.ForRank(rank), rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := res.Replay(rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("rank %d: streaming Replay differs from rankView sequence", rank)
+				}
+				streamed := 0
+				if err := res.ReplayEvents(rank, func(*trace.Event) { streamed++ }); err != nil {
+					t.Fatal(err)
+				}
+				if streamed != len(want) {
+					t.Fatalf("rank %d: ReplayEvents emitted %d events, want %d", rank, streamed, len(want))
+				}
+			}
+			wantPred, err := res.PredictMaterialized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPred, err := res.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantPred, gotPred) {
+				t.Fatalf("streaming Predict differs from materialized:\n got %+v\nwant %+v", gotPred, wantPred)
+			}
+			wantMat, err := res.CommMatrixMaterialized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, 0} {
+				gotMat, err := res.CommMatrixPar(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(wantMat, gotMat) {
+					t.Fatalf("workers=%d: streaming CommMatrix differs from materialized", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCommMatrixBadPeerSurfaced pins the chosen behavior for send events
+// whose replayed peer lies outside [0, ranks): both the streaming and the
+// materialized matrix return an error instead of silently dropping the
+// volume (the pre-fix implementation skipped such events, understating the
+// matrix whenever the trace and the rank count disagreed).
+func TestCommMatrixBadPeerSurfaced(t *testing.T) {
+	p, err := Compile(ringExchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Trace(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a trace/rank-count disagreement: with NumRanks lowered, rank 2's
+	// send to rank 3 replays to a peer outside [0,3).
+	res.Merged.NumRanks = 3
+	if _, err := res.CommMatrix(); err == nil {
+		t.Error("streaming CommMatrix: out-of-range peer not surfaced")
+	}
+	if _, err := res.CommMatrixMaterialized(); err == nil {
+		t.Error("materialized CommMatrix: out-of-range peer not surfaced")
+	}
+	// An intact trace still computes (and the two paths agree: covered by
+	// TestStreamingMatchesMaterialized).
+	res2, err := p.Trace(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res2.CommMatrix(); err != nil {
+		t.Errorf("intact trace: unexpected error %v", err)
 	}
 }

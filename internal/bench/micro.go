@@ -427,6 +427,14 @@ func Micros() []Micro {
 		{"MergeAll1024", BenchMergeAll1024},
 		{"MergeAll4096", BenchMergeAll4096},
 		{"Decode", BenchDecode},
+		{"ReplayRank", BenchReplayRank},
+		{"ReplayRankWalk", BenchReplayRankWalk},
+		{"Predict256", BenchPredict256},
+		{"Predict1024", BenchPredict1024},
+		{"PredictMaterialized256", BenchPredictMaterialized256},
+		{"PredictMaterialized1024", BenchPredictMaterialized1024},
+		{"CommMatrix1024", BenchCommMatrix1024},
+		{"CommMatrixMaterialized1024", BenchCommMatrixMaterialized1024},
 	}
 }
 

@@ -112,9 +112,12 @@ func (p *PeerPattern) Compress() {
 	p.raw = nil
 }
 
-// At returns the relative peer of occurrence k.
+// At returns the relative peer of occurrence k. Routing on raw (non-nil only
+// between conversion and Compress) rather than the compressed flag keeps At
+// correct for decoded patterns, which carry a Period but were built by struct
+// literal and never saw Compress.
 func (p *PeerPattern) At(k int64) int32 {
-	if !p.compressed {
+	if p.raw != nil {
 		return p.raw[k]
 	}
 	return p.Period[k%int64(len(p.Period))]

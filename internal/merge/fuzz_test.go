@@ -2,7 +2,11 @@ package merge
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
+
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 // fuzzSeeds builds encoded merged traces from representative fixtures to seed
@@ -81,6 +85,99 @@ func FuzzDecodeRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
 			t.Fatalf("Encode∘Decode not idempotent: %d vs %d bytes", b1.Len(), b2.Len())
+		}
+	})
+}
+
+// replayBudget bounds how much replay work a fuzz input may demand: decoded
+// trees are untrusted, and a loop vertex with a huge activation count but an
+// empty body would spin the walker for 2^60 iterations without emitting a
+// single event. Inputs whose total iteration upper bound or vertex count
+// exceeds the budget are skipped (they decoded fine, which is all
+// FuzzDecodeRoundTrip already guarantees).
+const replayBudget = 1 << 10
+
+// replayBounded reports whether m's walk cost is bounded enough to replay:
+// every loop/recursion activation count is small and their sum (an upper
+// bound on total iterations) stays within budget.
+func replayBounded(m *Merged) bool {
+	if len(m.Entries) > replayBudget {
+		return false
+	}
+	var total int64
+	for _, es := range m.Entries {
+		for i := range es {
+			for _, r := range es[i].Data.Counts.Runs() {
+				if r.Count <= 0 {
+					continue
+				}
+				if r.Count > replayBudget || r.Stride > replayBudget || -r.Stride > replayBudget ||
+					r.First > replayBudget || -r.First > replayBudget {
+					return false
+				}
+				hi := r.First
+				if l := r.Last(); l > hi {
+					hi = l
+				}
+				if hi > 0 {
+					total += hi * r.Count
+				}
+				if total > replayBudget {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FuzzReplayDecoded replays decoded (possibly adversarial) merged trees
+// through both decompression paths and checks:
+//
+//  1. Robustness: neither the rankView walk nor the Streamer panics on any
+//     tree the decoder accepts — malformed structure must surface as an
+//     error. (This path found the decoded-PeerPattern crash: At() indexed
+//     the nil raw buffer because decode never set the compressed flag.)
+//  2. Identity: whenever the reference rankView walk replays a rank, the
+//     Streamer replays the identical event sequence, and both fail together
+//     otherwise — the skeleton-sharing fast path may not diverge from the
+//     per-rank walk even on hostile inputs.
+func FuzzReplayDecoded(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := Decode(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if m.NumRanks <= 0 || !replayBounded(m) {
+			return
+		}
+		nr := m.NumRanks
+		if nr > 8 {
+			nr = 8
+		}
+		s := NewStreamer(m)
+		for rank := 0; rank < nr; rank++ {
+			var want []trace.Event
+			wantErr := replay.Events(m.ForRank(rank), rank, func(e *trace.Event) {
+				want = append(want, *e)
+			})
+			var got []trace.Event
+			gotErr := s.Replay(rank, func(e *trace.Event) {
+				got = append(got, *e)
+			})
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("rank %d: rankView err=%v, streamer err=%v", rank, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("rank %d: streamer sequence differs from rankView (%d vs %d events)",
+					rank, len(got), len(want))
+			}
 		}
 	})
 }

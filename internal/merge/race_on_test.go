@@ -1,0 +1,5 @@
+//go:build race
+
+package merge
+
+const raceEnabled = true

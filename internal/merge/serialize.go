@@ -278,8 +278,35 @@ func (d *decoder) runs() []stride.Run {
 		if d.err != nil {
 			return nil
 		}
+		if out[i].Count < 1 {
+			d.err = fmt.Errorf("merge: malformed run count %d", out[i].Count)
+			return nil
+		}
 	}
 	return out
+}
+
+// setRuns reads a run list that must form a valid strictly-increasing set:
+// positive strides (a multi-element run with stride 0 would divide by zero in
+// Set.Contains — fuzz-found) and disjoint runs in increasing order, the
+// invariants the binary search over decoded Taken and rank sets relies on.
+func (d *decoder) setRuns() []stride.Run {
+	runs := d.runs()
+	if d.err != nil {
+		return nil
+	}
+	for i := range runs {
+		r := runs[i]
+		if r.Count > 1 && r.Stride < 1 {
+			d.err = fmt.Errorf("merge: malformed set run stride %d", r.Stride)
+			return nil
+		}
+		if i > 0 && r.First <= runs[i-1].Last() {
+			d.err = fmt.Errorf("merge: set runs out of order at %d", i)
+			return nil
+		}
+	}
+	return runs
 }
 
 // entries carves a length-n entry list out of the entry slab.
@@ -411,7 +438,7 @@ func Decode(in io.Reader) (*Merged, error) {
 
 // entry decodes one vertex-data entry in place.
 func (d *decoder) entry(e *Entry, mode timestat.Mode) {
-	e.Ranks.Load(d.runs())
+	e.Ranks.Load(d.setRuns())
 	e.Data = d.vdata()
 	d.decodeVData(e.Data, mode)
 }
@@ -420,7 +447,7 @@ func (d *decoder) decodeVData(vd *ctt.VData, mode timestat.Mode) {
 	for _, run := range d.runs() {
 		vd.Counts.AppendRun(run)
 	}
-	for _, run := range d.runs() {
+	for _, run := range d.setRuns() {
 		vd.Taken.AppendRun(run)
 	}
 	nc := d.u()
@@ -503,7 +530,7 @@ func (d *decoder) record(rec *ctt.CommRecord, mode timestat.Mode) {
 	}
 	if hasPeers {
 		np := d.u()
-		if d.err != nil || np > 1<<20 {
+		if d.err != nil || np == 0 || np > 1<<20 {
 			if d.err == nil {
 				d.err = fmt.Errorf("implausible peer period %d", np)
 			}

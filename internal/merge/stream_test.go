@@ -1,0 +1,334 @@
+package merge
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/mpisim"
+	"repro/internal/replay"
+	"repro/internal/simmpi"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// ringSrcStream is the wraparound-ring shape behind the large-rank streaming
+// tests: every rank sends to (rank+1)%size and receives from (rank-1+size)%size,
+// so the trace both simulates under simmpi (sends complete locally; every recv
+// has a matching send) and splits into three selection classes (interior,
+// rank 0, rank size-1 — the wraparound edges break the relative encoding).
+const ringSrcStream = `
+func main() {
+	for var i = 0; i < 16; i = i + 1 {
+		send((rank + 1) % size, 4096, 7);
+		recv((rank + size - 1) % size, 4096, 7);
+	}
+	allreduce(8);
+}`
+
+// ringCTTs builds n per-rank CTTs by driving each compressor directly with a
+// synthetic wraparound-ring event stream — no simulator, so streaming tests
+// scale to 1024 ranks in milliseconds. Unlike directDriveCTTs it emits
+// MPI_Init/Finalize events (replay expects them on the root's record list)
+// and keeps iteration counts uniform so the trace is simulatable.
+func ringCTTs(t testing.TB, n, iters int) []*ctt.RankCTT {
+	t.Helper()
+	prog, err := lang.Parse(ringSrcStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	tree := buildTree(t, prog)
+	var loop, sendLeaf, recvLeaf, redLeaf *cst.Vertex
+	tree.Walk(func(v *cst.Vertex, _ int) {
+		switch {
+		case loop == nil && v.Kind == cst.KindLoop:
+			loop = v
+		case sendLeaf == nil && v.Kind == cst.KindComm && v.Op == trace.OpSend:
+			sendLeaf = v
+		case recvLeaf == nil && v.Kind == cst.KindComm && v.Op == trace.OpRecv:
+			recvLeaf = v
+		case redLeaf == nil && v.Kind == cst.KindComm && v.Op == trace.OpAllreduce:
+			redLeaf = v
+		}
+	})
+	if loop == nil || sendLeaf == nil || recvLeaf == nil || redLeaf == nil {
+		t.Fatal("ring tree missing vertices")
+	}
+	out := make([]*ctt.RankCTT, n)
+	var ev trace.Event
+	for r := 0; r < n; r++ {
+		c := ctt.NewCompressor(tree, r, timestat.ModeMeanStddev)
+		ev = trace.Event{Op: trace.OpInit, Peer: trace.NoPeer, ReqID: -1, DurationNS: 120, ComputeNS: 10}
+		c.Event(&ev)
+		c.LoopEnter(int32(loop.Site))
+		for k := 0; k < iters; k++ {
+			c.LoopIter(int32(loop.Site))
+			c.CommSite(int32(sendLeaf.Site))
+			ev = trace.Event{Op: trace.OpSend, Peer: (r + 1) % n, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1500, ComputeNS: 40}
+			c.Event(&ev)
+			c.CommSite(int32(recvLeaf.Site))
+			ev = trace.Event{Op: trace.OpRecv, Peer: (r + n - 1) % n, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1600, ComputeNS: 55}
+			c.Event(&ev)
+		}
+		c.StructExit()
+		c.CommSite(int32(redLeaf.Site))
+		ev = trace.Event{Op: trace.OpAllreduce, Peer: trace.NoPeer, Size: 8, ReqID: -1, DurationNS: 2200, ComputeNS: 70}
+		c.Event(&ev)
+		ev = trace.Event{Op: trace.OpFinalize, Peer: trace.NoPeer, ReqID: -1, DurationNS: 90}
+		c.Event(&ev)
+		c.Finalize()
+		out[r] = c.Finish()
+	}
+	return out
+}
+
+func buildTree(t testing.TB, prog *lang.Program) *cst.Tree {
+	t.Helper()
+	irProg, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cst.Build(irProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// rankViewSeq is the reference decompression: the O(groups)-per-accessor
+// rankView path the Streamer replaces.
+func rankViewSeq(t testing.TB, m *Merged, rank int) []trace.Event {
+	t.Helper()
+	seq, err := replay.Sequence(m.ForRank(rank), rank)
+	if err != nil {
+		t.Fatalf("rankView replay rank %d: %v", rank, err)
+	}
+	return seq
+}
+
+// streamerSeqs materializes every rank's sequence three ways through s —
+// callback Replay, pull Cursor — and checks them against each other before
+// returning the Replay result.
+func streamerSeqs(t testing.TB, s *Streamer, rank int) []trace.Event {
+	t.Helper()
+	var cb []trace.Event
+	if err := s.Replay(rank, func(e *trace.Event) { cb = append(cb, *e) }); err != nil {
+		t.Fatalf("streamer replay rank %d: %v", rank, err)
+	}
+	cur, err := s.Cursor(rank)
+	if err != nil {
+		t.Fatalf("streamer cursor rank %d: %v", rank, err)
+	}
+	var pulled []trace.Event
+	for {
+		e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		pulled = append(pulled, *e)
+	}
+	if !reflect.DeepEqual(cb, pulled) {
+		t.Fatalf("rank %d: cursor sequence differs from callback sequence", rank)
+	}
+	return cb
+}
+
+// TestStreamerMatchesRankView pins the sequence-preservation guarantee: for
+// every rank of every fixture, the Streamer's replay (both the skeleton-build
+// walk of the first rank of a class and the skeleton scans of its followers,
+// and the pull-cursor path) is event-identical to the reference rankView walk.
+func TestStreamerMatchesRankView(t *testing.T) {
+	fixtures := []struct {
+		name string
+		m    *Merged
+	}{}
+	for _, n := range []int{7, 64} {
+		_, ctts, _ := collect(t, jacobiSrc, n)
+		m, err := All(ctts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, struct {
+			name string
+			m    *Merged
+		}{name: "jacobi", m: m})
+	}
+	{
+		// Divergent iteration counts: multiple selection classes with
+		// interleaved rank sets.
+		src := `
+func main() {
+	var pair = rank / 2;
+	var k = 5;
+	if pair % 2 == 1 { k = 9; }
+	if rank % 2 == 0 {
+		for var i = 0; i < k; i = i + 1 { send(rank + 1, 64, 0); }
+	} else {
+		for var i = 0; i < k; i = i + 1 { recv(rank - 1, 64, 0); }
+	}
+}`
+		_, ctts, _ := collect(t, src, 8)
+		m, err := All(ctts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, struct {
+			name string
+			m    *Merged
+		}{name: "divergent", m: m})
+	}
+	for _, fx := range fixtures {
+		s := NewStreamer(fx.m)
+		for rank := 0; rank < fx.m.NumRanks; rank++ {
+			want := rankViewSeq(t, fx.m, rank)
+			got := streamerSeqs(t, s, rank)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: rank %d/%d: streamer sequence differs from rankView",
+					fx.name, rank, fx.m.NumRanks)
+			}
+		}
+		if cc := s.ClassCount(); cc < 1 || cc >= fx.m.NumRanks {
+			t.Errorf("%s: ClassCount %d outside (0,%d): skeleton sharing broken",
+				fx.name, cc, fx.m.NumRanks)
+		}
+	}
+}
+
+// TestStreamerRing1024 is the at-scale identity check: 1024 synthetic ring
+// ranks must replay byte-identically through the Streamer and collapse to the
+// three wraparound selection classes, and the streaming simulation over pull
+// cursors must produce exactly the result of the materializing simulation.
+func TestStreamerRing1024(t *testing.T) {
+	const n = 1024
+	ctts := ringCTTs(t, n, 16)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamer(m)
+	if err := s.Prepare(0); err != nil {
+		t.Fatal(err)
+	}
+	if cc := s.ClassCount(); cc != 3 {
+		t.Errorf("ring ClassCount = %d, want 3 (interior + two wraparound edges)", cc)
+	}
+	// Spot-check full sequences at the class boundaries and a few interiors.
+	for _, rank := range []int{0, 1, 2, 511, 1022, 1023} {
+		want := rankViewSeq(t, m, rank)
+		got := streamerSeqs(t, s, rank)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("rank %d: streamer sequence differs from rankView", rank)
+		}
+	}
+	// Streaming simulation == materializing simulation, exactly.
+	params := mpisim.DefaultParams()
+	seqs := make([][]trace.Event, n)
+	srcs := make([]simmpi.EventSource, n)
+	for rank := 0; rank < n; rank++ {
+		seqs[rank] = rankViewSeq(t, m, rank)
+		cur, err := s.Cursor(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[rank] = cur
+	}
+	want, err := simmpi.Simulate(seqs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := simmpi.SimulateStream(srcs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("streaming simulation differs from materializing simulation:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStreamerReplayAll pins the parallel fan-out: per-rank event order under
+// concurrent replay equals the serial order, for worker counts around the
+// rank count.
+func TestStreamerReplayAll(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 12)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamer(m)
+	want := make([][]trace.Event, m.NumRanks)
+	for rank := range want {
+		want[rank] = rankViewSeq(t, m, rank)
+	}
+	for _, workers := range []int{1, 3, 12, 64, 0} {
+		got := make([][]trace.Event, m.NumRanks)
+		err := s.ReplayAll(workers, func(rank int, e *trace.Event) {
+			got[rank] = append(got[rank], *e)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: parallel replay differs from serial", workers)
+		}
+	}
+}
+
+// TestStreamerRankOutOfRange pins the error path.
+func TestStreamerRankOutOfRange(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 4)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamer(m)
+	if err := s.Replay(4, func(*trace.Event) {}); err == nil {
+		t.Error("Replay(4) on 4 ranks: want error, got nil")
+	}
+	if _, err := s.Cursor(-1); err == nil {
+		t.Error("Cursor(-1): want error, got nil")
+	}
+}
+
+// TestStreamerSteadyStateAllocs pins the streaming replay's steady state:
+// once every selection class's skeleton is memoized, replaying a rank must
+// not allocate at all — the walk is a flat scan over shared steps with one
+// stack-reused event buffer — and opening a cursor costs exactly the cursor.
+func TestStreamerSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; allocation counts are not meaningful")
+	}
+	_, ctts, _ := collect(t, jacobiSrc, 16)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamer(m)
+	if err := s.Prepare(1); err != nil {
+		t.Fatal(err)
+	}
+	sink := func(e *trace.Event) {}
+	allocs := testing.AllocsPerRun(100, func() {
+		for rank := 0; rank < m.NumRanks; rank++ {
+			if err := s.Replay(rank, sink); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Replay over 16 ranks allocates %.1f allocs/op, want 0", allocs)
+	}
+	cursorAllocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Cursor(3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if cursorAllocs > 1 {
+		t.Errorf("steady-state Cursor allocates %.1f allocs/op, want <= 1", cursorAllocs)
+	}
+}

@@ -7,6 +7,7 @@ package replay
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
@@ -51,12 +52,113 @@ func (s RankSource) Cycles(gid int32) []ctt.Cycle { return s.C.Data[gid].Cycles 
 
 // Events decompresses rank's event sequence, invoking emit for each event in
 // original program order. Recursion (pseudo-loop) replay is approximate, as
-// in the paper: levels replay sequentially rather than interleaved.
+// in the paper: levels replay sequentially rather than interleaved. The event
+// pointer passed to emit is only valid for the duration of the callback.
 func Events(src Source, rank int, emit func(e *trace.Event)) error {
+	var ev trace.Event
+	return walkSteps(src, rank, func(rec *ctt.CommRecord, k int64) {
+		synthesize(&ev, rec, rank, k)
+		emit(&ev)
+	})
+}
+
+// Step is one emitted event of a replay skeleton: the source record and the
+// occurrence index within it. A skeleton captures everything about a rank's
+// tree walk except the rank-relative fields (peer, which PeerForAt derives
+// per rank), so ranks whose resolved views are identical can share one
+// skeleton and skip the tree walk entirely (see merge.Streamer).
+type Step struct {
+	Rec *ctt.CommRecord
+	K   int64
+}
+
+// Skeleton walks src once and returns rank's replay skeleton. When emit is
+// non-nil, events are additionally synthesized and emitted during the walk,
+// exactly as Events would — building a skeleton for the first rank of a
+// group costs no second pass.
+func Skeleton(src Source, rank int, emit func(e *trace.Event)) ([]Step, error) {
+	var steps []Step
+	var ev trace.Event
+	err := walkSteps(src, rank, func(rec *ctt.CommRecord, k int64) {
+		steps = append(steps, Step{Rec: rec, K: k})
+		if emit != nil {
+			synthesize(&ev, rec, rank, k)
+			emit(&ev)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// evPool recycles the one event buffer a skeleton scan synthesizes into; the
+// buffer escapes through the emit callback, so without pooling every
+// EmitSkeleton call would heap-allocate it and steady-state streaming replay
+// would cost one allocation per rank.
+var evPool = sync.Pool{New: func() any { return new(trace.Event) }}
+
+// EmitSkeleton synthesizes the events of a skeleton from rank's perspective,
+// in order. Only the rank-relative fields (peer) are re-evaluated; the
+// emitted sequence is byte-identical to a full Events walk of the same
+// resolved data. The event pointer is only valid during the callback.
+func EmitSkeleton(steps []Step, rank int, emit func(e *trace.Event)) {
+	ev := evPool.Get().(*trace.Event)
+	for i := range steps {
+		synthesize(ev, steps[i].Rec, rank, steps[i].K)
+		emit(ev)
+	}
+	*ev = trace.Event{} // drop record-aliased slices before pooling
+	evPool.Put(ev)
+}
+
+// Cursor is a pull iterator over a replay skeleton: the per-rank-iterator
+// entry point streaming consumers (simmpi.SimulateStream) drive. It holds
+// O(1) state per rank on top of the shared skeleton.
+type Cursor struct {
+	steps []Step
+	rank  int
+	i     int
+	ev    trace.Event
+}
+
+// NewCursor returns a cursor over steps from rank's perspective.
+func NewCursor(steps []Step, rank int) *Cursor {
+	return &Cursor{steps: steps, rank: rank}
+}
+
+// Next returns the next event, or false when the sequence is exhausted. The
+// returned pointer is only valid until the following Next call.
+func (c *Cursor) Next() (*trace.Event, bool) {
+	if c.i >= len(c.steps) {
+		return nil, false
+	}
+	st := &c.steps[c.i]
+	c.i++
+	synthesize(&c.ev, st.Rec, c.rank, st.K)
+	return &c.ev, true
+}
+
+// Len returns the total number of events the cursor will yield.
+func (c *Cursor) Len() int { return len(c.steps) }
+
+// synthesize materializes one replayed event from a record occurrence; the
+// single definition shared by Events, EmitSkeleton, and Cursor keeps every
+// replay path byte-identical.
+func synthesize(ev *trace.Event, rec *ctt.CommRecord, rank int, k int64) {
+	*ev = rec.Ev
+	ev.Peer = rec.PeerForAt(rank, k)
+	ev.DurationNS = rec.Time.Mean
+	ev.ComputeNS = rec.Compute.Mean
+}
+
+// walkSteps drives the pre-order tree walk, invoking step for each record
+// occurrence in original program order.
+func walkSteps(src Source, rank int, step func(rec *ctt.CommRecord, k int64)) error {
 	r := &replayer{
 		src:   src,
 		rank:  rank,
-		emit:  emit,
+		step:  step,
 		rec:   map[int32]*recCursor{},
 		act:   map[int32]int64{},
 		reach: map[reachKey]int64{},
@@ -89,7 +191,7 @@ type recCursor struct {
 type replayer struct {
 	src   Source
 	rank  int
-	emit  func(*trace.Event)
+	step  func(rec *ctt.CommRecord, k int64)
 	rec   map[int32]*recCursor
 	act   map[int32]int64 // next activation index per loop vertex
 	reach map[reachKey]int64
@@ -106,11 +208,7 @@ func (r *replayer) emitLeaf(v *cst.Vertex) error {
 		return fmt.Errorf("replay: rank %d: leaf %d (%v) out of records", r.rank, v.GID, v.Op)
 	}
 	rec := records[cur.idx]
-	ev := rec.Ev
-	ev.Peer = rec.PeerForAt(r.rank, cur.consumed)
-	ev.DurationNS = rec.Time.Mean
-	ev.ComputeNS = rec.Compute.Mean
-	r.emit(&ev)
+	r.step(rec, cur.consumed)
 	cur.consumed++
 	if cur.consumed >= rec.Count {
 		cur.idx++

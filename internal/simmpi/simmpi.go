@@ -47,6 +47,41 @@ type msgKey struct {
 	src, dst, tag int
 }
 
+// msgQueue is a FIFO of in-flight message arrival times. Pointer-valued map
+// entries keep the hot send/recv path at one map lookup per operation: push
+// and pop mutate the queue in place, where the historical value-slice map
+// paid a second hash for the re-assign on every push and every pop.
+type msgQueue struct {
+	buf  []float64
+	head int
+}
+
+func (q *msgQueue) push(t float64) { q.buf = append(q.buf, t) }
+
+func (q *msgQueue) len() int { return len(q.buf) - q.head }
+
+func (q *msgQueue) pop() float64 {
+	t := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
+// queueMap lazily creates per-key queues.
+type queueMap map[msgKey]*msgQueue
+
+func (m queueMap) at(k msgKey) *msgQueue {
+	q := m[k]
+	if q == nil {
+		q = &msgQueue{}
+		m[k] = q
+	}
+	return q
+}
+
 type pendingRecv struct {
 	gid  int32
 	peer int
@@ -55,8 +90,12 @@ type pendingRecv struct {
 }
 
 type simRank struct {
-	events  []trace.Event
-	idx     int
+	src     EventSource
+	cur     trace.Event
+	have    bool // cur holds a blocked, unprocessed event
+	started bool // src yielded at least one event
+	done    bool // src exhausted after at least one event
+	idx     int  // events processed (for diagnostics)
 	clock   float64
 	comm    float64
 	compute float64
@@ -74,17 +113,56 @@ type collGroup struct {
 	finish  float64
 }
 
-// Simulate predicts execution for the given per-rank event sequences.
+// EventSource is a pull iterator over one rank's replayed event sequence, the
+// streaming alternative to materializing a full []trace.Event per rank. The
+// pointer returned by Next is only read before the following Next call, so
+// implementations may reuse one event buffer (replay.Cursor does).
+type EventSource interface {
+	// Next returns the next event, or false when the sequence is exhausted.
+	Next() (*trace.Event, bool)
+}
+
+// sliceSource adapts a materialized sequence to EventSource.
+type sliceSource struct {
+	evs []trace.Event
+	i   int
+}
+
+func (s *sliceSource) Next() (*trace.Event, bool) {
+	if s.i >= len(s.evs) {
+		return nil, false
+	}
+	e := &s.evs[s.i]
+	s.i++
+	return e, true
+}
+
+// Simulate predicts execution for the given per-rank event sequences. It is
+// SimulateStream over materialized slices; both entry points share one
+// engine, so their results are identical for identical sequences.
 func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
-	n := len(seqs)
+	srcs := make([]EventSource, len(seqs))
+	for i := range seqs {
+		srcs[i] = &sliceSource{evs: seqs[i]}
+	}
+	return SimulateStream(srcs, params)
+}
+
+// SimulateStream predicts execution for per-rank event streams pulled from
+// iterators. Peak memory is O(ranks) cursor state plus the engine's in-flight
+// message queues instead of O(total events): each rank's events are consumed
+// as they are pulled, one at a time. The event an iterator yields is held by
+// value across blocked retries, so sources may reuse their buffers.
+func SimulateStream(srcs []EventSource, params mpisim.Params) (Result, error) {
+	n := len(srcs)
 	if n == 0 {
 		return Result{}, fmt.Errorf("simmpi: no ranks")
 	}
 	ranks := make([]simRank, n)
 	for i := range ranks {
-		ranks[i].events = seqs[i]
+		ranks[i].src = srcs[i]
 	}
-	queues := map[msgKey][]float64{}
+	queues := queueMap{}
 	var colls []*collGroup
 
 	coll := func(idx int) *collGroup {
@@ -99,20 +177,45 @@ func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
 		progressed := false
 		for rid := range ranks {
 			r := &ranks[rid]
-			for r.idx < len(r.events) {
-				e := &r.events[r.idx]
+			for {
+				// Events are processed straight off the source's pointer and
+				// copied into r.cur only when they block: the common case
+				// (event processes first try) never pays the struct copy.
+				var e *trace.Event
+				if r.have {
+					e = &r.cur
+				} else {
+					if r.done {
+						break
+					}
+					ev, more := r.src.Next()
+					if !more {
+						if r.started {
+							r.done = true
+							remaining--
+						}
+						// else: source empty from the start — mirror the
+						// historical engine, which never marked zero-event
+						// ranks done and reported a stall instead.
+						break
+					}
+					r.started = true
+					e = ev
+				}
 				ok, err := step(r, rid, e, n, params, queues, coll)
 				if err != nil {
 					return Result{}, err
 				}
 				if !ok {
+					if !r.have {
+						r.cur = *e
+						r.have = true
+					}
 					break
 				}
 				progressed = true
+				r.have = false
 				r.idx++
-				if r.idx == len(r.events) {
-					remaining--
-				}
 			}
 		}
 		if !progressed && remaining > 0 {
@@ -131,8 +234,8 @@ func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
 
 func stallState(ranks []simRank) string {
 	for i := range ranks {
-		if ranks[i].idx < len(ranks[i].events) {
-			return fmt.Sprintf("rank %d stuck at event %d (%v)", i, ranks[i].idx, ranks[i].events[ranks[i].idx].Op)
+		if ranks[i].have {
+			return fmt.Sprintf("rank %d stuck at event %d (%v)", i, ranks[i].idx, ranks[i].cur.Op)
 		}
 	}
 	return "all done"
@@ -141,7 +244,7 @@ func stallState(ranks []simRank) string {
 // step attempts to process one event; it returns false when the event must
 // wait for progress elsewhere.
 func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
-	queues map[msgKey][]float64, coll func(int) *collGroup) (bool, error) {
+	queues queueMap, coll func(int) *collGroup) (bool, error) {
 	// Compute time precedes the call.
 	advCompute := func() {
 		r.clock += e.ComputeNS
@@ -159,7 +262,7 @@ func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
 		inject := p.OverheadNS + p.GapPerByteNS*float64(e.Size)
 		r.clock += inject
 		key := msgKey{rid, e.Peer, e.Tag}
-		queues[key] = append(queues[key], r.clock+p.LatencyNS)
+		queues.at(key).push(r.clock + p.LatencyNS)
 		if e.Op == trace.OpIsend {
 			// Request bookkeeping only; sends complete locally.
 		}
@@ -175,13 +278,12 @@ func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
 	case e.Op == trace.OpRecv:
 		key := msgKey{e.Peer, rid, e.Tag}
 		q := queues[key]
-		if len(q) == 0 {
+		if q == nil || q.len() == 0 {
 			return false, nil // matching send not simulated yet
 		}
 		advCompute()
 		t0 := start()
-		avail := q[0]
-		queues[key] = q[1:]
+		avail := q.pop()
 		r.clock = math.Max(r.clock+p.OverheadNS, avail)
 		r.comm += r.clock - t0
 		return true, nil
@@ -207,7 +309,7 @@ func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
 			needed[msgKey{pr.peer, rid, pr.tag}]++
 		}
 		for key, cnt := range needed {
-			if len(queues[key]) < cnt {
+			if q := queues[key]; q == nil || q.len() < cnt {
 				return false, nil
 			}
 		}
@@ -215,9 +317,7 @@ func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
 		t0 := start()
 		for _, i := range toComplete {
 			pr := r.pending[i]
-			key := msgKey{pr.peer, rid, pr.tag}
-			avail := queues[key][0]
-			queues[key] = queues[key][1:]
+			avail := queues[msgKey{pr.peer, rid, pr.tag}].pop()
 			r.clock = math.Max(r.clock, avail)
 		}
 		r.clock += p.OverheadNS / 2

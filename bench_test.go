@@ -44,13 +44,18 @@ func BenchmarkAblations(b *testing.B)                 { runExperiment(b, "ablate
 // tracing-overhead guard (see the AllocsPerRun test in internal/ctt).
 
 func BenchmarkCompressorEvent(b *testing.B) { bench.BenchCompressorEvent(b) }
-func BenchmarkRecordMerge(b *testing.B)     { bench.BenchRecordMerge(b) }
-func BenchmarkMergePair(b *testing.B)       { bench.BenchMergePair(b) }
-func BenchmarkEncode(b *testing.B)          { bench.BenchEncode(b) }
-func BenchmarkMergeAll256(b *testing.B)     { bench.BenchMergeAll256(b) }
-func BenchmarkMergeAll1024(b *testing.B)    { bench.BenchMergeAll1024(b) }
-func BenchmarkMergeAll4096(b *testing.B)    { bench.BenchMergeAll4096(b) }
-func BenchmarkDecode(b *testing.B)          { bench.BenchDecode(b) }
+
+// BenchmarkCompressorEventObs is the same path with a live metrics sink; the
+// delta against BenchmarkCompressorEvent is the observability overhead
+// (budget: <3% ns/op, identical allocs/op — see internal/obs).
+func BenchmarkCompressorEventObs(b *testing.B) { bench.BenchCompressorEventObs(b) }
+func BenchmarkRecordMerge(b *testing.B)        { bench.BenchRecordMerge(b) }
+func BenchmarkMergePair(b *testing.B)          { bench.BenchMergePair(b) }
+func BenchmarkEncode(b *testing.B)             { bench.BenchEncode(b) }
+func BenchmarkMergeAll256(b *testing.B)        { bench.BenchMergeAll256(b) }
+func BenchmarkMergeAll1024(b *testing.B)       { bench.BenchMergeAll1024(b) }
+func BenchmarkMergeAll4096(b *testing.B)       { bench.BenchMergeAll4096(b) }
+func BenchmarkDecode(b *testing.B)             { bench.BenchDecode(b) }
 
 // Streaming decompression benchmarks (bodies in internal/bench/replaybench.go):
 // each streaming path is paired with its pre-streaming reference

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,9 +43,11 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	benchjson := flag.String("benchjson", "", "run component microbenchmarks and write JSON results to this file ('-' = stdout)")
+	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
+	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := mainErr(*exp, *quick, *full, *workers, *par, *cpuprofile, *memprofile, *benchjson); err != nil {
+	if err := mainErr(*exp, *quick, *full, *workers, *par, *cpuprofile, *memprofile, *benchjson, *stats, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "cypressbench:", err)
 		os.Exit(1)
 	}
@@ -52,7 +55,26 @@ func main() {
 
 // mainErr is the flag-free body, separated so deferred profile writers run
 // before the process exits (os.Exit skips defers).
-func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, memprofile, benchjson string) error {
+func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, memprofile, benchjson string, stats bool, debugAddr string) error {
+	if stats || debugAddr != "" {
+		sink := obs.New()
+		bench.EnableObs(sink)
+		defer bench.EnableObs(nil)
+		if debugAddr != "" {
+			srv, err := obs.ServeDebug(debugAddr, sink)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "cypressbench: debug server on http://%s/debug/pprof/\n", srv.Addr)
+		}
+		if stats {
+			defer func() {
+				fmt.Fprintln(os.Stderr)
+				sink.Report().WriteText(os.Stderr)
+			}()
+		}
+	}
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {

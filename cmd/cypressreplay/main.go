@@ -27,6 +27,7 @@ import (
 	cypress "repro"
 	"repro/internal/merge"
 	"repro/internal/mpisim"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/simmpi"
 	"repro/internal/trace"
@@ -44,10 +45,30 @@ func main() {
 	stream := flag.Bool("stream", false, "use the streaming replayer (shared skeletons, no materialization)")
 	par := flag.Int("par", 1, "parallel rank fan-out for -stream modes (0 = GOMAXPROCS)")
 	limit := flag.Int("limit", 50, "max events to print per rank (0 = all)")
+	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
+	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cypressreplay [flags] trace.cyp")
 		os.Exit(2)
+	}
+	if *stats || *debugAddr != "" {
+		sink := obs.New()
+		cypress.EnableObs(sink)
+		if *debugAddr != "" {
+			srv, err := obs.ServeDebug(*debugAddr, sink)
+			if err != nil {
+				fail(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "cypressreplay: debug server on http://%s/debug/pprof/\n", srv.Addr)
+		}
+		if *stats {
+			defer func() {
+				fmt.Fprintln(os.Stderr)
+				sink.Report().WriteText(os.Stderr)
+			}()
+		}
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {

@@ -1,0 +1,153 @@
+// Command cypressstat inspects a merged CYPRESS trace: per-GID compression
+// ratios, rank-group fragmentation, and stride-compression health — the
+// paper's Table-3-style structural breakdown. It reads a trace file written
+// by cypresstrace (gzip or raw, sniffed automatically) or traces a program
+// in-process, in which case -stats can additionally report the live pipeline
+// counters (fingerprint fast-path hits, pool reuse, stage timings).
+//
+// Usage:
+//
+//	cypressstat run.cyp                      # structural tables
+//	cypressstat -json run.cyp                # same, as JSON
+//	cypressstat -workload CG -procs 64       # trace in-process, then inspect
+//	cypressstat -workload LU -procs 64 -stats  # + live pipeline counters
+//	cypressstat -stats prog.mpl              # trace an MPL file in-process
+//
+// With a trace-file argument and -stats, only the decode-side counters are
+// live (the compression happened in another process); tracing in-process
+// reports the full pipeline.
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	cypress "repro"
+	"repro/internal/inspect"
+	"repro/internal/merge"
+	"repro/internal/npb"
+	"repro/internal/obs"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cypressstat:", err)
+	os.Exit(1)
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the analysis as JSON")
+	stats := flag.Bool("stats", false, "also print the pipeline observability report")
+	workload := flag.String("workload", "", "trace a built-in workload in-process instead of reading a file")
+	procs := flag.Int("procs", 8, "ranks for in-process tracing")
+	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	sink := obs.New()
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cypressstat: debug server on http://%s/debug/pprof/\n", srv.Addr)
+	}
+
+	var m *merge.Merged
+	switch {
+	case *workload != "":
+		w := npb.Get(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "cypressstat: unknown workload %q (have %v)\n", *workload, npb.Names())
+			os.Exit(2)
+		}
+		if !w.ValidProcs(*procs) {
+			fmt.Fprintf(os.Stderr, "cypressstat: %s does not support %d processes\n", w.Name, *procs)
+			os.Exit(2)
+		}
+		m = traceInProcess(w.Source(*procs, npb.Paper), *procs, sink)
+	case flag.NArg() == 1 && isMPL(flag.Arg(0)):
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		m = traceInProcess(string(data), *procs, sink)
+	case flag.NArg() == 1:
+		m = readTraceFile(flag.Arg(0), sink)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cypressstat [flags] trace.cyp | prog.mpl  (or -workload NAME)")
+		os.Exit(2)
+	}
+
+	a := inspect.Analyze(m)
+	if *jsonOut {
+		if err := a.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	} else if err := a.WriteText(os.Stdout); err != nil {
+		fail(err)
+	}
+	if *stats {
+		r := sink.Report()
+		fmt.Println()
+		if *jsonOut {
+			if err := r.WriteJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+		} else if err := r.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// isMPL reports whether path looks like MPL source rather than a trace file.
+func isMPL(path string) bool {
+	if len(path) > 4 && path[len(path)-4:] == ".mpl" {
+		return true
+	}
+	return false
+}
+
+// traceInProcess compiles and traces src with the sink attached, so the
+// compression-side counters (compressor intake, stride runs, merge
+// fingerprint hits) are live in the -stats report.
+func traceInProcess(src string, procs int, sink *obs.Sink) *merge.Merged {
+	prog, err := cypress.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	res, err := prog.Trace(procs, cypress.Options{Obs: sink})
+	if err != nil {
+		fail(err)
+	}
+	return res.Merged
+}
+
+// readTraceFile decodes a trace file, transparently unwrapping gzip (sniffed
+// from the two-byte magic, so Cypress and Cypress+Gzip files both work).
+func readTraceFile(path string, sink *obs.Sink) *merge.Merged {
+	cypress.EnableObs(sink) // decode-side counters
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var in io.Reader = br
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			fail(err)
+		}
+		defer zr.Close()
+		in = zr
+	}
+	m, err := merge.Decode(in)
+	if err != nil {
+		fail(err)
+	}
+	return m
+}

@@ -17,6 +17,7 @@ import (
 
 	cypress "repro"
 	"repro/internal/npb"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,7 +26,29 @@ func main() {
 	useGzip := flag.Bool("gzip", false, "gzip the trace file (Cypress+Gzip)")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
 	hist := flag.Bool("hist", false, "record time histograms instead of mean/stddev")
+	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
+	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var sink *obs.Sink
+	if *stats || *debugAddr != "" {
+		sink = obs.New()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cypresstrace:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cypresstrace: debug server on http://%s/debug/pprof/\n", srv.Addr)
+	}
+	if *stats {
+		defer func() {
+			fmt.Fprintln(os.Stderr)
+			sink.Report().WriteText(os.Stderr)
+		}()
+	}
 
 	var src string
 	switch {
@@ -57,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cypresstrace:", err)
 		os.Exit(1)
 	}
-	opts := cypress.Options{}
+	opts := cypress.Options{Obs: sink}
 	if *hist {
 		opts.TimeMode = cypress.TimeHistogram
 	}

@@ -22,12 +22,14 @@ import (
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
+	"repro/internal/encpool"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/merge"
 	"repro/internal/mpisim"
 	"repro/internal/npb"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/simmpi"
 	"repro/internal/timestat"
@@ -88,6 +90,11 @@ type Options struct {
 	// KeepRaw additionally collects the raw per-rank event streams (for
 	// verification and comparison); costs memory proportional to the trace.
 	KeepRaw bool
+	// Obs, when non-nil, collects pipeline metrics for this run: it is
+	// attached to every per-rank compressor and installed as the process-wide
+	// sink of the merge/replay/simulation/pool layers (see EnableObs). A nil
+	// sink keeps every hot path on its allocation-free disabled fast path.
+	Obs *obs.Sink
 }
 
 func (o *Options) params() mpisim.Params {
@@ -123,12 +130,16 @@ func (r *Result) Streamer() *merge.Streamer {
 // Trace executes the program on nprocs simulated ranks under CYPRESS
 // compression and merges the per-rank trees (paper Section IV).
 func (p *Program) Trace(nprocs int, opts Options) (*Result, error) {
+	if opts.Obs != nil {
+		EnableObs(opts.Obs)
+	}
 	params := opts.params()
 	comps := make([]*ctt.Compressor, nprocs)
 	raws := make([]*trace.CollectorSink, nprocs)
 	sinks := make([]trace.Sink, nprocs)
 	for i := range sinks {
 		comps[i] = ctt.NewCompressor(p.CST, i, opts.TimeMode)
+		comps[i].SetObs(opts.Obs)
 		if opts.KeepRaw {
 			raws[i] = &trace.CollectorSink{}
 			sinks[i] = teeSink{raws[i], comps[i]}
@@ -136,9 +147,11 @@ func (p *Program) Trace(nprocs int, opts Options) (*Result, error) {
 			sinks[i] = comps[i]
 		}
 	}
+	csp := opts.Obs.Start(obs.StageCompress)
 	simNS, err := mpisim.Run(nprocs, params, sinks, func(r *mpisim.Rank) {
 		interp.Execute(p.AST, r)
 	})
+	csp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cypress: run: %w", err)
 	}
@@ -317,8 +330,22 @@ func (r *Result) CommMatrixMaterialized() ([][]int64, error) {
 }
 
 func commPeerError(rank int, e *trace.Event, n int) error {
-	return fmt.Errorf("cypress: comm matrix: rank %d %v to peer %d outside [0,%d)",
-		rank, e.Op, e.Peer, n)
+	return fmt.Errorf("cypress: comm matrix: rank %d %v at gid %d to peer %d outside [0,%d)",
+		rank, e.Op, e.GID, e.Peer, n)
+}
+
+// EnableObs installs s as the process-wide metrics sink of every pipeline
+// layer that is not owned by a single run: the inter-process merge and its
+// codec/streamer, the replay engine, the LogGP simulator, and the encode
+// pools. Per-run compressors are attached via Options.Obs (Trace calls
+// EnableObs automatically when Options.Obs is set). Passing nil disables
+// observation everywhere. Call at startup — the sinks are plain package
+// variables, read by the pipeline without synchronization.
+func EnableObs(s *obs.Sink) {
+	merge.SetObs(s)
+	replay.SetObs(s)
+	simmpi.SetObs(s)
+	encpool.SetObs(s)
 }
 
 // Workload returns a named NPB/LESlie3d communication skeleton from the

@@ -3,11 +3,71 @@ package cypress
 import (
 	"bytes"
 	"reflect"
+	"regexp"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
+
+// TestObsPipelineWiring runs the full pipeline with a sink attached and
+// checks every stage reported in: compressor intake, stride aggregation,
+// merge reduction, encode/decode, streaming replay, and simulation.
+func TestObsPipelineWiring(t *testing.T) {
+	s := obs.New()
+	defer EnableObs(nil) // restore the disabled state for other tests
+
+	p, err := Compile(jacobi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Trace(7, Options{Obs: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(obs.CompEvents) == 0 || s.Value(obs.CompMergeHits) == 0 {
+		t.Errorf("compressor counters empty: events=%d hits=%d",
+			s.Value(obs.CompEvents), s.Value(obs.CompMergeHits))
+	}
+	if s.Value(obs.StrideValues) == 0 || s.Value(obs.StrideRuns) == 0 {
+		t.Errorf("stride counters empty: values=%d runs=%d",
+			s.Value(obs.StrideValues), s.Value(obs.StrideRuns))
+	}
+	if got := s.Value(obs.MergePairs); got != 6 {
+		t.Errorf("merge_pairs = %d, want 6 (7-leaf reduction)", got)
+	}
+	if _, err := res.Predict(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(obs.ReplaySkeletonBuilds) == 0 || s.Value(obs.ReplayEventsEmitted) == 0 {
+		t.Errorf("replay counters empty: builds=%d emitted=%d",
+			s.Value(obs.ReplaySkeletonBuilds), s.Value(obs.ReplayEventsEmitted))
+	}
+	if s.Value(obs.SimEventsProcessed) == 0 {
+		t.Error("sim_events_processed empty after Predict")
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTrace(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(obs.EncTraces) != 1 || s.Value(obs.DecTraces) != 1 ||
+		s.Value(obs.EncBytesRaw) == 0 || s.Value(obs.DecRecords) == 0 {
+		t.Errorf("codec counters wrong: enc=%d dec=%d raw=%d recs=%d",
+			s.Value(obs.EncTraces), s.Value(obs.DecTraces),
+			s.Value(obs.EncBytesRaw), s.Value(obs.DecRecords))
+	}
+	if s.Value(obs.PoolBufioGets) == 0 {
+		t.Error("pool counters empty after encode")
+	}
+	r := s.Report()
+	if len(r.Stages) == 0 || len(r.Counters) == 0 {
+		t.Errorf("report empty: %+v", r)
+	}
+}
 
 const jacobi = `
 func main() {
@@ -252,13 +312,20 @@ func TestCommMatrixBadPeerSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Forge a trace/rank-count disagreement: with NumRanks lowered, rank 2's
-	// send to rank 3 replays to a peer outside [0,3).
+	// send to rank 3 replays to a peer outside [0,3). The error must name the
+	// offending rank, the comm leaf's GID, and the peer value, so a trace/job
+	// mismatch is diagnosable without re-running under a debugger.
 	res.Merged.NumRanks = 3
+	wantErr := regexp.MustCompile(`rank 2 \S+ at gid \d+ to peer 3 outside \[0,3\)`)
 	if _, err := res.CommMatrix(); err == nil {
 		t.Error("streaming CommMatrix: out-of-range peer not surfaced")
+	} else if !wantErr.MatchString(err.Error()) {
+		t.Errorf("streaming CommMatrix error %q does not match %v", err, wantErr)
 	}
 	if _, err := res.CommMatrixMaterialized(); err == nil {
 		t.Error("materialized CommMatrix: out-of-range peer not surfaced")
+	} else if !wantErr.MatchString(err.Error()) {
+		t.Errorf("materialized CommMatrix error %q does not match %v", err, wantErr)
 	}
 	// An intact trace still computes (and the two paths agree: covered by
 	// TestStreamingMatchesMaterialized).

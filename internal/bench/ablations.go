@@ -47,6 +47,7 @@ func runCTTs(wl *npb.Workload, n int, cfg Config, mode timestat.Mode, window int
 	sinks := make([]trace.Sink, n)
 	for i := range sinks {
 		comps[i] = ctt.NewCompressor(tree, i, mode)
+		comps[i].SetObs(obsSink)
 		comps[i].SetWindow(window)
 		sinks[i] = comps[i]
 	}

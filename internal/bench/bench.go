@@ -211,6 +211,7 @@ func MeasureIntra(w *npb.Workload, n int, cfg Config) (*IntraMeasured, error) {
 	}{
 		{MCypress, func() { lastCyp = lastCyp[:0] }, func(rank int) trace.Sink {
 			c := ctt.NewCompressor(tree, rank, timestat.ModeMeanStddev)
+			c.SetObs(obsSink)
 			lastCyp = append(lastCyp, c)
 			return c
 		}},
@@ -340,6 +341,7 @@ func Measure(w *npb.Workload, n int, cfg Config) (*Measured, error) {
 	sinks := make([]trace.Sink, n)
 	for i := 0; i < n; i++ {
 		cyp[i] = ctt.NewCompressor(tree, i, timestat.ModeMeanStddev)
+		cyp[i].SetObs(obsSink)
 		st1[i] = scalatrace.NewCompressor(scalatrace.V1, i, 0)
 		st2[i] = scalatrace.NewCompressor(scalatrace.V2, i, 0)
 		gz[i] = rawgzip.NewWriter()

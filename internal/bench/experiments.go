@@ -195,6 +195,7 @@ func traceWorkload(wl *npb.Workload, n int, cfg Config) (*merge.Merged, float64,
 	sinks := make([]trace.Sink, n)
 	for i := range sinks {
 		comps[i] = ctt.NewCompressor(tree, i, timestat.ModeMeanStddev)
+		comps[i].SetObs(obsSink)
 		sinks[i] = comps[i]
 	}
 	simNS, err := mpisim.Run(n, mpisim.DefaultParams(), sinks, func(r *mpisim.Rank) {

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObservePipelineReport checks the -benchjson observation pass: one ring
+// run through compress→merge→encode→decode→replay→simulate must light up
+// every stage's counters, and the harness must detach the sink afterwards so
+// subsequent timed benchmarks run sink-off.
+func TestObservePipelineReport(t *testing.T) {
+	s := obs.New()
+	if err := observePipeline(s); err != nil {
+		t.Fatal(err)
+	}
+	if obsSink != nil {
+		t.Error("observePipeline left obsSink attached")
+	}
+	r := s.Report()
+	for _, key := range []string{
+		"comp_events", "stride_values", "merge_pairs",
+		"enc_traces", "dec_traces", "sim_events_processed",
+	} {
+		if r.Counters[key] == 0 {
+			t.Errorf("observation pass left %s empty", key)
+		}
+	}
+	if len(r.Stages) == 0 {
+		t.Error("observation pass recorded no stage timings")
+	}
+}

@@ -51,6 +51,7 @@ func ringCTTs(n, iters int) ([]*ctt.RankCTT, error) {
 	var ev trace.Event
 	for r := 0; r < n; r++ {
 		c := ctt.NewCompressor(tree, r, timestat.ModeMeanStddev)
+		c.SetObs(obsSink)
 		ev = trace.Event{Op: trace.OpInit, Peer: trace.NoPeer, ReqID: -1, DurationNS: 120, ComputeNS: 10}
 		c.Event(&ev)
 		c.LoopEnter(int32(loop.Site))

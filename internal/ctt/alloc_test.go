@@ -3,6 +3,7 @@ package ctt
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/timestat"
 	"repro/internal/trace"
 )
@@ -51,6 +52,46 @@ func main() {
 	allocs := testing.AllocsPerRun(500, step)
 	if allocs > 1 {
 		t.Errorf("steady-state Event path allocates %.1f allocs/op, want <= 1", allocs)
+	}
+}
+
+// TestEventSteadyStateAllocsObserved re-runs the steady-state Event budget
+// with a live metrics sink attached. The observability layer is plain atomic
+// counters behind one nil check, so enabling it must not add a single
+// allocation to the hot path — the budget is identical to the sink-off test.
+func TestEventSteadyStateAllocsObserved(t *testing.T) {
+	_, tree := compile(t, `
+func main() {
+	for var i = 0; i < 10; i = i + 1 {
+		send(1, 2048, 5);
+	}
+}`)
+	loop := tree.Root.Children[0]
+	leaf := findLeaf(tree, trace.OpSend)
+	if leaf == nil {
+		t.Fatal("no send leaf")
+	}
+	c := NewCompressor(tree, 0, timestat.ModeMeanStddev)
+	c.SetObs(obs.New())
+	c.LoopEnter(int32(loop.Site))
+
+	tmpl := trace.Event{
+		Op: trace.OpSend, Peer: 1, Size: 2048, Tag: 5, Comm: 0,
+		ReqID: -1, DurationNS: 1500, ComputeNS: 100,
+	}
+	var evBuf trace.Event
+	step := func() {
+		c.LoopIter(int32(loop.Site))
+		c.CommSite(int32(leaf.Site))
+		evBuf = tmpl
+		c.Event(&evBuf)
+	}
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(500, step)
+	if allocs > 1 {
+		t.Errorf("observed Event path allocates %.1f allocs/op, want <= 1 (same as sink-off)", allocs)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cst"
 	"repro/internal/fp"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/stride"
 	"repro/internal/timestat"
 	"repro/internal/trace"
@@ -250,6 +251,25 @@ type Compressor struct {
 
 	events   int64
 	finished bool
+
+	// obs is the attached metrics sink; nil (the default) disables all
+	// observation at the cost of one predictable branch per counter site.
+	// Per-event tallies accumulate in tal (plain adds, no atomics) and flush
+	// to the sink once, at Finish — the event hot path never pays an atomic.
+	obs *obs.Sink
+	tal compTally
+}
+
+// compTally is the compressor's local, single-goroutine event accounting.
+// Fields mirror the obs.Comp* counters; Finish folds them into the shared
+// sink in one batch so the per-event cost of observation is a register
+// increment instead of an atomic RMW.
+type compTally struct {
+	mergeHits, newRecords    int64
+	patternFolds, cycleFolds int64
+	wildCached, wildResolved int64
+	reqPeak, wildPeak        int64
+	reqOcc, wildDepth        obs.LocalHist
 }
 
 // NewCompressor returns a compression sink for one rank. All ranks must share
@@ -279,6 +299,11 @@ func (c *Compressor) SetWindow(k int) {
 	}
 	c.window = k
 }
+
+// SetObs attaches a metrics sink. A nil sink (the default) disables
+// observation; the hot paths then pay a single nil check per site and keep
+// their allocation-free budgets. Attach before tracing starts.
+func (c *Compressor) SetObs(s *obs.Sink) { c.obs = s }
 
 func (c *Compressor) d(v *cst.Vertex) *VData { return &c.data[v.GID] }
 
@@ -447,12 +472,27 @@ func (c *Compressor) Event(e *trace.Event) {
 
 	if ev.Op.IsNonBlocking() {
 		c.reqs.put(ev.ReqID, leaf.GID)
+		if c.obs != nil {
+			occ := int64(c.reqs.live)
+			c.tal.reqOcc.Observe(occ)
+			if occ > c.tal.reqPeak {
+				c.tal.reqPeak = occ
+			}
+		}
 		if ev.Op == trace.OpIrecv && ev.Wildcard {
 			// Paper Section IV-A, non-deterministic events: cache wildcard
 			// receives; compression is delayed until the checking function
 			// resolves the source. The cache copies the event into recycled
 			// slot storage, so repeated wildcard receives do not allocate.
 			c.reqs.putWild(ev.ReqID, &ev)
+			if c.obs != nil {
+				c.tal.wildCached++
+				depth := int64(c.reqs.wildLive)
+				c.tal.wildDepth.Observe(depth)
+				if depth > c.tal.wildPeak {
+					c.tal.wildPeak = depth
+				}
+			}
 			return
 		}
 	}
@@ -483,6 +523,7 @@ func (c *Compressor) resolveCompletion(ev *trace.Event) {
 			}
 			cached.Peer = int(ev.ReqSrcs[i])
 			leaf := c.tree.ByGID[cached.GID]
+			c.tal.wildResolved++
 			c.record(leaf, &cached)
 		}
 		c.reqs.del(id)
@@ -505,6 +546,7 @@ func (c *Compressor) record(v *cst.Vertex, ev *trace.Event) {
 	// Open record cycles consume matching events first; a mismatch closes
 	// the cycle and falls through to the ordinary paths.
 	if d.cyc.open != nil && d.tryFoldCycle(&d.cyc, &canon, dur, comp) {
+		c.tal.cycleFolds++
 		return
 	}
 	n := len(d.Records)
@@ -521,6 +563,7 @@ func (c *Compressor) record(v *cst.Vertex, ev *trace.Event) {
 			cand.Count++
 			cand.Time.Add(dur)
 			cand.Compute.Add(comp)
+			c.tal.mergeHits++
 			return
 		}
 	}
@@ -542,6 +585,7 @@ func (c *Compressor) record(v *cst.Vertex, ev *trace.Event) {
 				last.Count++
 				last.Time.Add(dur)
 				last.Compute.Add(comp)
+				c.tal.patternFolds++
 				return
 			}
 		}
@@ -560,6 +604,7 @@ func (c *Compressor) record(v *cst.Vertex, ev *trace.Event) {
 	rec.Time.Add(dur)
 	rec.Compute = timestat.Make(timestat.ModeMeanStddev)
 	rec.Compute.Add(comp)
+	c.tal.newRecords++
 	d.tryOpenCycle(&d.cyc)
 }
 
@@ -580,6 +625,8 @@ func (c *Compressor) Finish() *RankCTT {
 	if !c.finished {
 		panic("ctt: Finish before Finalize")
 	}
+	sp := c.obs.Start(obs.StageFinish)
+	defer sp.End()
 	exec := 0
 	for i := range c.data {
 		d := &c.data[i]
@@ -595,7 +642,12 @@ func (c *Compressor) Finish() *RankCTT {
 		if d.Executed() {
 			exec++
 		}
+		if c.obs.Enabled() {
+			c.strideStats(&d.Counts)
+			c.strideStats(&d.Taken.Vector)
+		}
 	}
+	c.flushTally()
 	return &RankCTT{
 		Rank:       c.rank,
 		Tree:       c.tree,
@@ -603,6 +655,47 @@ func (c *Compressor) Finish() *RankCTT {
 		Data:       c.data,
 		EventCount: c.events,
 		Executed:   exec,
+	}
+}
+
+// flushTally folds the per-event tallies into the shared sink in one batch
+// of atomic adds. Called once, at Finish; until then the compressor's event
+// counters are local to the rank (the -debug.addr live view therefore shows
+// compressor counters per finished rank, while merge/encode/replay counters
+// stream in continuously).
+func (c *Compressor) flushTally() {
+	if c.obs == nil {
+		return
+	}
+	c.obs.Add(obs.CompEvents, c.events)
+	c.obs.Add(obs.CompMergeHits, c.tal.mergeHits)
+	c.obs.Add(obs.CompNewRecords, c.tal.newRecords)
+	c.obs.Add(obs.CompPeerPatternFolds, c.tal.patternFolds)
+	c.obs.Add(obs.CompCycleFolds, c.tal.cycleFolds)
+	c.obs.Add(obs.CompWildcardCached, c.tal.wildCached)
+	c.obs.Add(obs.CompWildcardResolved, c.tal.wildResolved)
+	c.obs.SetMax(obs.CompReqPeak, c.tal.reqPeak)
+	c.obs.SetMax(obs.CompWildPeak, c.tal.wildPeak)
+	c.obs.FlushHist(obs.HistReqOccupancy, &c.tal.reqOcc)
+	c.obs.FlushHist(obs.HistWildcardDepth, &c.tal.wildDepth)
+	c.tal = compTally{}
+}
+
+// strideStats folds one finished stride vector into the sink's compression
+// accounting: values stored, runs holding them, and the bytes the run
+// encoding saved over (or wasted against) the raw 8-bytes-per-value layout.
+// Called only at Finish, off every hot path, and only with a sink attached.
+func (c *Compressor) strideStats(v *stride.Vector) {
+	n := v.Len()
+	if n == 0 {
+		return
+	}
+	c.obs.Add(obs.StrideValues, n)
+	c.obs.Add(obs.StrideRuns, int64(v.RunCount()))
+	if saved := v.RawBytes() - v.SizeBytes(); saved > 0 {
+		c.obs.Add(obs.StrideBytesSaved, saved)
+	} else {
+		c.obs.Inc(obs.StrideIncompressible)
 	}
 }
 

@@ -12,14 +12,28 @@ import (
 	"compress/gzip"
 	"io"
 	"sync"
+
+	"repro/internal/obs"
 )
 
+// sink is the package's attached metrics sink; nil (the default) disables
+// observation. Wired once at startup via SetObs and only read afterwards.
+var sink *obs.Sink
+
+// SetObs attaches a metrics sink recording pool checkout/miss traffic. A nil
+// sink disables observation. Not safe to call concurrently with pool use.
+func SetObs(s *obs.Sink) { sink = s }
+
 var gzipPool = sync.Pool{
-	New: func() any { return gzip.NewWriter(io.Discard) },
+	New: func() any {
+		sink.Inc(obs.PoolGzipNews)
+		return gzip.NewWriter(io.Discard)
+	},
 }
 
 // GetGzip returns a pooled gzip writer reset to stream into w.
 func GetGzip(w io.Writer) *gzip.Writer {
+	sink.Inc(obs.PoolGzipGets)
 	gz := gzipPool.Get().(*gzip.Writer)
 	gz.Reset(w)
 	return gz
@@ -36,11 +50,15 @@ func PutGzip(gz *gzip.Writer) {
 const bufioSize = 1 << 16
 
 var bufioPool = sync.Pool{
-	New: func() any { return bufio.NewWriterSize(io.Discard, bufioSize) },
+	New: func() any {
+		sink.Inc(obs.PoolBufioNews)
+		return bufio.NewWriterSize(io.Discard, bufioSize)
+	},
 }
 
 // GetBufio returns a pooled 64KB bufio.Writer reset to w.
 func GetBufio(w io.Writer) *bufio.Writer {
+	sink.Inc(obs.PoolBufioGets)
 	bw := bufioPool.Get().(*bufio.Writer)
 	bw.Reset(w)
 	return bw
@@ -56,7 +74,10 @@ func PutBufio(bw *bufio.Writer) {
 }
 
 var bufioReaderPool = sync.Pool{
-	New: func() any { return bufio.NewReaderSize(nil, bufioSize) },
+	New: func() any {
+		sink.Inc(obs.PoolReaderNews)
+		return bufio.NewReaderSize(nil, bufioSize)
+	},
 }
 
 // GetBufioReader returns a pooled 64KB bufio.Reader reset to r. The decode
@@ -64,6 +85,7 @@ var bufioReaderPool = sync.Pool{
 // decodes (bench harness cells, round-trip tests) from re-allocating the
 // buffer each time.
 func GetBufioReader(r io.Reader) *bufio.Reader {
+	sink.Inc(obs.PoolReaderGets)
 	br := bufioReaderPool.Get().(*bufio.Reader)
 	br.Reset(r)
 	return br
@@ -79,11 +101,15 @@ func PutBufioReader(br *bufio.Reader) {
 }
 
 var bufPool = sync.Pool{
-	New: func() any { return new(bytes.Buffer) },
+	New: func() any {
+		sink.Inc(obs.PoolBufferNews)
+		return new(bytes.Buffer)
+	},
 }
 
 // GetBuffer returns a pooled empty bytes.Buffer.
 func GetBuffer() *bytes.Buffer {
+	sink.Inc(obs.PoolBufferGets)
 	b := bufPool.Get().(*bytes.Buffer)
 	b.Reset()
 	return b

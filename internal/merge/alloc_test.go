@@ -3,6 +3,8 @@ package merge
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestDecodeAllocs pins the slab-backed decode path. Decoding a merged trace
@@ -59,6 +61,27 @@ func TestMergeAllSteadyStateAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(50, step)
 	if allocs > 400 {
 		t.Errorf("steady-state All(64 ranks) allocates %.1f allocs/op, want <= 400", allocs)
+	}
+}
+
+// TestMergeAllSteadyStateAllocsObserved re-runs the merge reduction budget
+// with the package sink attached: per-pair tallies accumulate in plain
+// mergeState fields and flush to atomics once per pair, and the per-depth
+// pair timings are two time.Now calls plus an atomic histogram observe —
+// none of which touch the heap, so the budget is unchanged from sink-off.
+func TestMergeAllSteadyStateAllocsObserved(t *testing.T) {
+	_, ctts, _ := collect(t, jacobiSrc, 64)
+	SetObs(obs.New())
+	defer SetObs(nil)
+	step := func() {
+		if _, err := All(ctts, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // first pass rel-encodes leaf records in place
+	allocs := testing.AllocsPerRun(50, step)
+	if allocs > 400 {
+		t.Errorf("observed All(64 ranks) allocates %.1f allocs/op, want <= 400 (same as sink-off)", allocs)
 	}
 }
 

@@ -23,12 +23,15 @@ package merge
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/fp"
+	"repro/internal/obs"
 	"repro/internal/rankset"
 	"repro/internal/stride"
 	"repro/internal/timestat"
@@ -244,6 +247,8 @@ func (x *leafCtx) scratchLeaf(i int) *Merged {
 		x.scratchEntries = make([]Entry, ne)
 		x.scratchSets = make([]rankset.Set, ne)
 		fresh = true
+	} else {
+		sink.Inc(obs.MergeScratchReuses)
 	}
 	x.scratch.initFromRank(c,
 		x.scratchLists[:nl:nl],
@@ -259,6 +264,7 @@ func (x *leafCtx) pair(a, b *Merged) (*Merged, error) {
 	m, escaped, err := pairEsc(a, b)
 	if escaped && b == x.scratch {
 		x.scratch = nil
+		sink.Inc(obs.MergeScratchRetires)
 	}
 	return m, err
 }
@@ -314,8 +320,10 @@ func pairEsc(a, b *Merged) (_ *Merged, escaped bool, _ error) {
 	noRel := a.noRel || b.noRel
 	a.noRel = noRel
 	st := mergeState{noRel: noRel, fpOn: fingerprintEnabled && !noRel}
+	sink.Inc(obs.MergePairs)
 	if st.fpOn && a.uniform && b.uniform && a.treeOK && b.treeOK &&
 		a.treeRel == b.treeRel && a.groups == b.groups {
+		sink.Inc(obs.MergeTreeFastHits)
 		st.pairFast(a, b)
 	} else {
 		st.dirty = true
@@ -323,6 +331,7 @@ func pairEsc(a, b *Merged) (_ *Merged, escaped bool, _ error) {
 			a.Entries[gid] = st.entryLists(a.Entries[gid], b.Entries[gid])
 		}
 	}
+	st.flush()
 	if st.dirty {
 		a.refreshSummary()
 	}
@@ -340,6 +349,14 @@ type mergeState struct {
 	dirty   bool // entry structure changed; whole-tree span needs refresh
 	escaped bool // an entry of b was copied into a (see pairEsc)
 	relBuf  []bool
+
+	// Per-Pair observation tallies, accumulated in plain fields on the hot
+	// entry loops and flushed to the package sink once per Pair (see obs.go).
+	fpRelHits  int64 // relative-fingerprint fast-path unifications
+	fpAbsHits  int64 // absolute-fingerprint fast-path unifications
+	walks      int64 // comparisons that fell back to the exhaustive walk
+	unmerged   int64 // right entries appended unmerged (new rank group)
+	poisonings int64 // records poisoned RelUnsafe by an absolute unification
 }
 
 // pairFast merges two uniform trees whose span fingerprints matched. Every
@@ -362,6 +379,7 @@ func (st *mergeState) pairFast(a, b *Merged) {
 					ea.invalidateAbs()
 				}
 				mergeRanks(ea, eb)
+				st.fpRelHits++
 				continue
 			}
 		}
@@ -386,6 +404,7 @@ func (st *mergeState) entryLists(left, right []Entry) []Entry {
 		if !merged {
 			left = append(left, *re)
 			st.escaped = true
+			st.unmerged++
 		}
 	}
 	return left
@@ -410,6 +429,7 @@ func (st *mergeState) tryMerge(le, re *Entry) bool {
 				le.invalidateAbs()
 			}
 			mergeRanks(le, re)
+			st.fpRelHits++
 			return true
 		}
 		le.ensureAbs()
@@ -420,11 +440,14 @@ func (st *mergeState) tryMerge(le, re *Entry) bool {
 				// relative fingerprint (absolute peers are unchanged).
 				le.Data.InvalidateFingerprint()
 				le.fpRel = le.Data.FingerprintRelCached()
+				st.poisonings++
 			}
 			mergeRanks(le, re)
+			st.fpAbsHits++
 			return true
 		}
 	}
+	st.walks++
 	rel, ok := st.compatible(le.Data, re.Data)
 	if !ok {
 		return false
@@ -433,9 +456,12 @@ func (st *mergeState) tryMerge(le, re *Entry) bool {
 	if relSet {
 		le.invalidateAbs()
 	}
-	if poisoned && st.fpOn && le.fpOK {
-		le.Data.InvalidateFingerprint()
-		le.fpRel = le.Data.FingerprintRelCached()
+	if poisoned {
+		st.poisonings++
+		if st.fpOn && le.fpOK {
+			le.Data.InvalidateFingerprint()
+			le.fpRel = le.Data.FingerprintRelCached()
+		}
 	}
 	mergeRanks(le, re)
 	return true
@@ -698,8 +724,18 @@ func all(ctts []*ctt.RankCTT, workers int, noRel bool) (*Merged, error) {
 		if rerr != nil {
 			return nil, rerr
 		}
+		if sink.Enabled() {
+			// Reduction level: 1 merges two leaves, k merges two 2^(k-1)-rank
+			// halves. Spans wider than 2^8 ranks fold into the L8 histogram.
+			t0 := time.Now()
+			m, err := x.pair(left, right)
+			sink.ObserveSince(obs.MergePairHist(bits.Len(uint(hi-lo))-1), t0)
+			return m, err
+		}
 		return x.pair(left, right)
 	}
+	sp := sink.Start(obs.StageMerge)
+	defer sp.End()
 	return reduce(&leafCtx{ctts: ctts, noRel: noRel}, 0, len(ctts), false)
 }
 

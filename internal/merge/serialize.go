@@ -10,6 +10,7 @@ import (
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/encpool"
+	"repro/internal/obs"
 	"repro/internal/rankset"
 	"repro/internal/stride"
 	"repro/internal/timestat"
@@ -29,6 +30,10 @@ const fileVersion = 1
 type writer struct {
 	w   *bufio.Writer
 	buf [binary.MaxVarintLen64]byte
+	// n counts logical bytes emitted through the writer, independent of the
+	// bufio layer's flush schedule, so Encode can attribute bytes to sections
+	// for the obs per-section accounting.
+	n   int64
 	err error
 }
 
@@ -38,6 +43,7 @@ func (w *writer) u(x uint64) {
 	}
 	n := binary.PutUvarint(w.buf[:], x)
 	_, w.err = w.w.Write(w.buf[:n])
+	w.n += int64(n)
 }
 
 func (w *writer) i(x int64) {
@@ -46,6 +52,7 @@ func (w *writer) i(x int64) {
 	}
 	n := binary.PutVarint(w.buf[:], x)
 	_, w.err = w.w.Write(w.buf[:n])
+	w.n += int64(n)
 }
 
 func (w *writer) f(x float64) { w.u(math.Float64bits(x)) }
@@ -64,6 +71,8 @@ func (w *writer) runs(rs []stride.Run) {
 // (per-cell artifact finishing in the bench harness) do not re-allocate 64KB
 // of buffering each time.
 func (m *Merged) Encode(out io.Writer) (int64, error) {
+	sp := sink.Start(obs.StageEncode)
+	defer sp.End()
 	cw := &countingWriter{w: out}
 	bw := encpool.GetBufio(cw)
 	defer encpool.PutBufio(bw)
@@ -90,7 +99,9 @@ func (m *Merged) Encode(out io.Writer) (int64, error) {
 	w.u(uint64(treeBuf.Len()))
 	if w.err == nil {
 		_, w.err = w.w.Write(treeBuf.Bytes())
+		w.n += int64(treeBuf.Len())
 	}
+	preEntries := w.n
 	for gid := range m.Entries {
 		es := m.Entries[gid]
 		w.u(uint64(len(es)))
@@ -104,6 +115,12 @@ func (m *Merged) Encode(out io.Writer) (int64, error) {
 	}
 	if err := w.w.Flush(); err != nil {
 		return 0, err
+	}
+	if sink.Enabled() {
+		sink.Inc(obs.EncTraces)
+		sink.Add(obs.EncBytesRaw, cw.n)
+		sink.Add(obs.EncBytesCST, int64(treeBuf.Len()))
+		sink.Add(obs.EncBytesRecords, w.n-preEntries)
 	}
 	return cw.n, nil
 }
@@ -195,6 +212,10 @@ func (m *Merged) EncodeGzip(out io.Writer) (int64, error) {
 	if err := gz.Close(); err != nil {
 		return 0, err
 	}
+	if sink.Enabled() {
+		sink.Inc(obs.EncGzipTraces)
+		sink.Add(obs.EncBytesGzip, cw.n)
+	}
 	return cw.n, nil
 }
 
@@ -255,6 +276,10 @@ type decoder struct {
 	vdSlab  []ctt.VData
 	i32Slab []int32
 	arena   ctt.RecordArena
+
+	// Observation tallies, flushed to the sink once per Decode.
+	nEnt int64
+	nRec int64
 }
 
 // runs reads a run list into the shared scratch buffer. The result is valid
@@ -357,6 +382,8 @@ func (d *decoder) ints(n int) []int32 {
 // pooled and the result is slab-backed (see decoder), so decoding allocates
 // a few chunks per tree rather than a few objects per entry.
 func Decode(in io.Reader) (*Merged, error) {
+	sp := sink.Start(obs.StageDecode)
+	defer sp.End()
 	br := encpool.GetBufioReader(in)
 	defer encpool.PutBufioReader(br)
 	var magic [4]byte
@@ -432,6 +459,12 @@ func Decode(in io.Reader) (*Merged, error) {
 			rem -= b
 		}
 		m.Entries[gid] = es
+		d.nEnt += int64(n)
+	}
+	if sink.Enabled() {
+		sink.Inc(obs.DecTraces)
+		sink.Add(obs.DecEntries, d.nEnt)
+		sink.Add(obs.DecRecords, d.nRec)
 	}
 	return m, nil
 }
@@ -476,6 +509,7 @@ func (d *decoder) decodeVData(vd *ctt.VData, mode timestat.Mode) {
 		}
 		return
 	}
+	d.nRec += int64(n)
 	// Records decode into the decoder's shared arena: each vertex's record
 	// count is known up front, so the arena carves exact-length pointer lists
 	// backed by chunked record storage. Counts above decodeEager are earned

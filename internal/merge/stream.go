@@ -39,6 +39,7 @@ import (
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/fp"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/stride"
 	"repro/internal/trace"
@@ -196,6 +197,7 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 	s.mu.Lock()
 	if c := s.byRank[rank]; c != nil {
 		s.mu.Unlock()
+		sink.Inc(obs.ReplayRankMemoHits)
 		return c, false, nil
 	}
 	s.mu.Unlock()
@@ -208,6 +210,7 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 	if c := s.lookup(h, sc.sel); c != nil {
 		s.byRank[rank] = c
 		s.mu.Unlock()
+		sink.Inc(obs.ReplayClassReuses)
 		return c, false, nil
 	}
 	s.mu.Unlock()
@@ -217,7 +220,10 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 	// builder of the same class loses the insert race below and discards its
 	// duplicate — correctness is unaffected (both walks produce equal steps).
 	view := &Resolved{tree: s.m.Tree, data: sc.data, rank: rank}
+	bsp := sink.Start(obs.StageSkeleton)
 	steps, err := replay.Skeleton(view, rank, emit)
+	bsp.End()
+	sink.Inc(obs.ReplaySkeletonBuilds)
 	if err != nil {
 		return nil, emit != nil, err
 	}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published guards against double-Publish of the same expvar name (expvar
+// panics on duplicates, and tests may wire several sinks in one process).
+var (
+	publishMu sync.Mutex
+	published = map[string]*expvar.Func{}
+	current   = map[string]*Sink{}
+)
+
+// Publish exposes the sink's live Report as an expvar under name. Publishing
+// the same name again rebinds it to the new sink (the expvar layer keeps one
+// Func; the Func reads whichever sink is current).
+func (s *Sink) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	current[name] = s
+	if published[name] != nil {
+		return
+	}
+	f := expvar.Func(func() any {
+		publishMu.Lock()
+		sink := current[name]
+		publishMu.Unlock()
+		return sink.Report()
+	})
+	published[name] = &f
+	expvar.Publish(name, f)
+}
+
+// DebugServer is a live pprof/expvar endpoint for the long-running CLIs.
+type DebugServer struct {
+	srv  *http.Server
+	Addr string // concrete listen address (resolves ":0")
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/pprof/...  the standard net/http/pprof profile endpoints
+//	/debug/vars       expvar (including the published "cypress" report)
+//	/debug/obs        the sink's Report as standalone indented JSON
+//
+// The server runs on its own goroutine until Close. The sink may be nil;
+// pprof endpoints still work (the process can always be profiled), /debug/obs
+// then serves an empty report.
+func ServeDebug(addr string, s *Sink) (*DebugServer, error) {
+	s.Publish("cypress")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.Report().WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{srv: &http.Server{Handler: mux}, Addr: ln.Addr().String()}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSinkIsSafeAndFree pins the disabled state: every method on a nil
+// sink must be a no-op, and the hot-path methods must not allocate.
+func TestNilSinkIsSafeAndFree(t *testing.T) {
+	var s *Sink
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Inc(CompEvents)
+		s.Add(MergePairs, 7)
+		s.SetMax(CompReqPeak, 42)
+		s.Observe(HistReqOccupancy, 3)
+		sp := s.Start(StageMerge)
+		sp.End()
+		s.ObserveSince(HistMergePairL1, time.Time{})
+	})
+	if allocs != 0 {
+		t.Errorf("nil sink allocates %.1f allocs/op, want 0", allocs)
+	}
+	if s.Enabled() {
+		t.Error("nil sink reports Enabled")
+	}
+	if got := s.Value(CompEvents); got != 0 {
+		t.Errorf("nil sink Value = %d", got)
+	}
+	r := s.Report()
+	if r == nil || len(r.Counters) != 0 {
+		t.Errorf("nil sink report not empty: %+v", r)
+	}
+}
+
+// TestEnabledSinkHotPathAllocs pins that the enabled sink's per-event
+// operations are allocation-free too (atomics only): attaching a sink must
+// not move any hot path off its 0-allocs/op budget.
+func TestEnabledSinkHotPathAllocs(t *testing.T) {
+	s := New()
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Inc(CompEvents)
+		s.Add(ReplayEventsEmitted, 51)
+		s.SetMax(CompReqPeak, 2)
+		s.Observe(HistSimQueueDepth, 5)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled sink allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestCountersAndMax(t *testing.T) {
+	s := New()
+	s.Inc(CompEvents)
+	s.Add(CompEvents, 9)
+	if got := s.Value(CompEvents); got != 10 {
+		t.Errorf("Value = %d, want 10", got)
+	}
+	s.SetMax(CompReqPeak, 5)
+	s.SetMax(CompReqPeak, 3)
+	s.SetMax(CompReqPeak, 8)
+	if got := s.Value(CompReqPeak); got != 8 {
+		t.Errorf("SetMax kept %d, want 8", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{{-3, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {1 << 40, HistBuckets - 1}} {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(2) != 3 || BucketUpper(10) != 1023 {
+		t.Errorf("BucketUpper bounds wrong: %d %d %d %d",
+			BucketUpper(0), BucketUpper(1), BucketUpper(2), BucketUpper(10))
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	s := New()
+	s.Add(CompEvents, 100)
+	s.Add(CompMergeHits, 90)
+	s.Add(CompNewRecords, 10)
+	s.Add(MergeFPRelHits, 30)
+	s.Add(MergeExhaustiveWalks, 10)
+	s.Add(PoolGzipGets, 4)
+	s.Add(PoolGzipNews, 1)
+	for i := 0; i < 100; i++ {
+		s.Observe(HistReqOccupancy, int64(i%7))
+	}
+	sp := s.Start(StageMerge)
+	sp.End()
+
+	r := s.Report()
+	if r.Counters["comp_events"] != 100 {
+		t.Errorf("comp_events = %d", r.Counters["comp_events"])
+	}
+	if _, ok := r.Counters["sim_blocked_copies"]; ok {
+		t.Error("zero counter should be omitted")
+	}
+	if got := r.Rates["comp_fold_rate"]; got != 0.9 {
+		t.Errorf("comp_fold_rate = %v, want 0.9", got)
+	}
+	if got := r.Rates["merge_fp_fast_rate"]; got != 0.75 {
+		t.Errorf("merge_fp_fast_rate = %v, want 0.75", got)
+	}
+	if got := r.Rates["pool_gzip_hit_rate"]; got != 0.75 {
+		t.Errorf("pool_gzip_hit_rate = %v, want 0.75", got)
+	}
+	if len(r.Stages) != 1 || r.Stages[0].Name != "merge" || r.Stages[0].Count != 1 {
+		t.Errorf("stages = %+v", r.Stages)
+	}
+	var hist *HistStats
+	for i := range r.Histograms {
+		if r.Histograms[i].Name == "req_table_occupancy" {
+			hist = &r.Histograms[i]
+		}
+	}
+	if hist == nil || hist.Count != 100 {
+		t.Fatalf("req_table_occupancy missing or wrong count: %+v", hist)
+	}
+
+	// JSON round-trip.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["comp_merge_hits"] != 90 {
+		t.Errorf("round-trip lost comp_merge_hits: %+v", back.Counters)
+	}
+
+	// Text rendering mentions the populated sections.
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counters:", "rates:", "stages:", "histograms:", "comp_events", "merge_fp_fast_rate"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestNamesComplete guards the enum/name tables against drift.
+func TestNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		n := c.String()
+		if n == "" || n == "unknown_counter" {
+			t.Errorf("counter %d has no name", c)
+		}
+		if seen[n] {
+			t.Errorf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		if h.String() == "" || h.String() == "unknown_hist" {
+			t.Errorf("hist %d has no name", h)
+		}
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if st.String() == "" || st.String() == "unknown_stage" {
+			t.Errorf("stage %d has no name", st)
+		}
+	}
+}
+
+func TestMergePairHistClamps(t *testing.T) {
+	if MergePairHist(0) != HistMergePairL1 || MergePairHist(1) != HistMergePairL1 {
+		t.Error("low levels should clamp to L1")
+	}
+	if MergePairHist(8) != HistMergePairL8 || MergePairHist(99) != HistMergePairL8 {
+		t.Error("high levels should clamp to L8")
+	}
+	if MergePairHist(3) != HistMergePairL3 {
+		t.Error("mid levels should map directly")
+	}
+}
+
+func TestConcurrentSink(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Inc(CompEvents)
+				s.Observe(HistSimQueueDepth, int64(i&15))
+				s.SetMax(CompReqPeak, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Value(CompEvents); got != 8000 {
+		t.Errorf("concurrent Inc lost updates: %d", got)
+	}
+	if got := s.HistCount(HistSimQueueDepth); got != 8000 {
+		t.Errorf("concurrent Observe lost updates: %d", got)
+	}
+	if got := s.Value(CompReqPeak); got != 999 {
+		t.Errorf("concurrent SetMax = %d, want 999", got)
+	}
+	s.Reset()
+	if s.Value(CompEvents) != 0 || s.HistCount(HistSimQueueDepth) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// TestServeDebug spins the debug endpoint up on an ephemeral port and checks
+// that expvar, the standalone obs report, and the pprof index all answer.
+func TestServeDebug(t *testing.T) {
+	s := New()
+	s.Add(CompEvents, 5)
+	ds, err := ServeDebug("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/debug/obs"); !strings.Contains(body, "comp_events") {
+		t.Errorf("/debug/obs missing counters: %s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "cypress") {
+		t.Errorf("/debug/vars missing published sink: %.200s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index looks wrong: %.200s", body)
+	}
+
+	// Rebinding the published name to a fresh sink must not panic and must
+	// serve the new sink's numbers.
+	s2 := New()
+	s2.Add(CompEvents, 77)
+	s2.Publish("cypress")
+	if body := get("/debug/vars"); !strings.Contains(body, "77") {
+		t.Errorf("rebound expvar still serves old sink: %.300s", body)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report is a point-in-time snapshot of a Sink, serializable to JSON and
+// renderable as text. Counters with value zero are omitted so quiet stages do
+// not drown the interesting ones; derived Rates are recomputed at snapshot
+// time from the counters they summarize.
+type Report struct {
+	// Counters holds every non-zero counter keyed by its stable name.
+	Counters map[string]int64 `json:"counters"`
+	// Rates holds derived hit/fold rates in [0,1] (and byte ratios), keyed by
+	// a stable name. Only rates whose denominators are non-zero appear.
+	Rates map[string]float64 `json:"rates,omitempty"`
+	// Stages lists stage span timers that fired at least once.
+	Stages []StageStats `json:"stages,omitempty"`
+	// Histograms lists histograms with at least one observation.
+	Histograms []HistStats `json:"histograms,omitempty"`
+}
+
+// StageStats summarizes one stage timer.
+type StageStats struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+}
+
+// HistStats summarizes one histogram: observation count, value sum/mean, and
+// approximate quantile upper bounds derived from the power-of-two buckets.
+type HistStats struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Mean    float64       `json:"mean"`
+	P50     int64         `json:"p50_le"`
+	P99     int64         `json:"p99_le"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket: N observations <= Le (and
+// greater than the previous bucket's bound).
+type BucketCount struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// ratio returns n/d, reporting ok=false when the denominator is zero.
+func ratio(n, d int64) (float64, bool) {
+	if d == 0 {
+		return 0, false
+	}
+	return float64(n) / float64(d), true
+}
+
+// Report snapshots the sink. A nil sink yields an empty (but non-nil) report.
+func (s *Sink) Report() *Report {
+	r := &Report{Counters: map[string]int64{}, Rates: map[string]float64{}}
+	if s == nil {
+		return r
+	}
+	var vals [NumCounters]int64
+	for c := Counter(0); c < NumCounters; c++ {
+		vals[c] = s.counters[c].Load()
+		if vals[c] != 0 {
+			r.Counters[c.String()] = vals[c]
+		}
+	}
+	addRate := func(name string, n, d int64) {
+		if v, ok := ratio(n, d); ok {
+			r.Rates[name] = v
+		}
+	}
+	addRate("comp_fold_rate",
+		vals[CompMergeHits]+vals[CompPeerPatternFolds]+vals[CompCycleFolds], vals[CompEvents])
+	fpHits := vals[MergeFPRelHits] + vals[MergeFPAbsHits]
+	addRate("merge_fp_fast_rate", fpHits, fpHits+vals[MergeExhaustiveWalks])
+	addRate("merge_tree_fast_rate", vals[MergeTreeFastHits], vals[MergePairs])
+	skHits := vals[ReplayRankMemoHits] + vals[ReplayClassReuses]
+	addRate("replay_skeleton_hit_rate", skHits, skHits+vals[ReplaySkeletonBuilds])
+	addRate("stride_values_per_run", vals[StrideValues], vals[StrideRuns])
+	addRate("enc_gzip_ratio", vals[EncBytesGzip], vals[EncBytesRaw])
+	addRate("pool_gzip_hit_rate", vals[PoolGzipGets]-vals[PoolGzipNews], vals[PoolGzipGets])
+	addRate("pool_bufio_hit_rate", vals[PoolBufioGets]-vals[PoolBufioNews], vals[PoolBufioGets])
+	addRate("pool_reader_hit_rate", vals[PoolReaderGets]-vals[PoolReaderNews], vals[PoolReaderGets])
+	addRate("pool_buffer_hit_rate", vals[PoolBufferGets]-vals[PoolBufferNews], vals[PoolBufferGets])
+
+	for st := Stage(0); st < NumStages; st++ {
+		n := s.stages[st].count.Load()
+		if n == 0 {
+			continue
+		}
+		tot := s.stages[st].totalNS.Load()
+		r.Stages = append(r.Stages, StageStats{
+			Name: st.String(), Count: n, TotalNS: tot, MeanNS: float64(tot) / float64(n),
+		})
+	}
+	for h := Hist(0); h < NumHists; h++ {
+		hs := s.histStats(h)
+		if hs.Count == 0 {
+			continue
+		}
+		r.Histograms = append(r.Histograms, hs)
+	}
+	return r
+}
+
+// histStats summarizes one histogram.
+func (s *Sink) histStats(h Hist) HistStats {
+	hist := &s.hists[h]
+	out := HistStats{Name: h.String(), Sum: hist.sum.Load()}
+	var counts [HistBuckets]int64
+	for i := range counts {
+		counts[i] = hist.buckets[i].Load()
+		out.Count += counts[i]
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.Mean = float64(out.Sum) / float64(out.Count)
+	quantile := func(q float64) int64 {
+		target := int64(q * float64(out.Count))
+		if target >= out.Count {
+			target = out.Count - 1
+		}
+		var seen int64
+		for i, n := range counts {
+			seen += n
+			if seen > target {
+				return BucketUpper(i)
+			}
+		}
+		return BucketUpper(HistBuckets - 1)
+	}
+	out.P50 = quantile(0.50)
+	out.P99 = quantile(0.99)
+	for i, n := range counts {
+		if n != 0 {
+			out.Buckets = append(out.Buckets, BucketCount{Le: BucketUpper(i), N: n})
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the report as aligned human-readable text.
+func (r *Report) WriteText(w io.Writer) error {
+	if len(r.Counters) == 0 && len(r.Stages) == 0 && len(r.Histograms) == 0 {
+		_, err := fmt.Fprintln(w, "obs: no metrics recorded")
+		return err
+	}
+	// Counters in enum order (stable, stage-grouped), skipping zeros.
+	if len(r.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for c := Counter(0); c < NumCounters; c++ {
+			if v, ok := r.Counters[c.String()]; ok {
+				fmt.Fprintf(w, "  %-32s %12d\n", c.String(), v)
+			}
+		}
+		// Any keys not matching the enum (future/foreign) in sorted order.
+		var extra []string
+		for k := range r.Counters {
+			if !knownCounter(k) {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		for _, k := range extra {
+			fmt.Fprintf(w, "  %-32s %12d\n", k, r.Counters[k])
+		}
+	}
+	if len(r.Rates) > 0 {
+		fmt.Fprintln(w, "rates:")
+		keys := make([]string, 0, len(r.Rates))
+		for k := range r.Rates {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-32s %12.4f\n", k, r.Rates[k])
+		}
+	}
+	if len(r.Stages) > 0 {
+		fmt.Fprintln(w, "stages:")
+		fmt.Fprintf(w, "  %-12s %10s %14s %14s\n", "stage", "count", "total_ms", "mean_us")
+		for _, st := range r.Stages {
+			fmt.Fprintf(w, "  %-12s %10d %14.3f %14.2f\n",
+				st.Name, st.Count, float64(st.TotalNS)/1e6, st.MeanNS/1e3)
+		}
+	}
+	if len(r.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		fmt.Fprintf(w, "  %-24s %10s %12s %10s %10s\n", "histogram", "count", "mean", "p50<=", "p99<=")
+		for _, h := range r.Histograms {
+			fmt.Fprintf(w, "  %-24s %10d %12.1f %10d %10d\n", h.Name, h.Count, h.Mean, h.P50, h.P99)
+		}
+	}
+	return nil
+}
+
+// knownCounter reports whether name is a defined counter name.
+func knownCounter(name string) bool {
+	for c := Counter(0); c < NumCounters; c++ {
+		if c.String() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package replay
+
+import "repro/internal/obs"
+
+// sink is the package's attached metrics sink; nil (the default) disables
+// observation. Wired once at startup via SetObs and only read afterwards.
+var sink *obs.Sink
+
+// SetObs attaches a metrics sink to the replay package. Call before replaying;
+// a nil sink disables observation. Not safe to call concurrently with a
+// running replay.
+func SetObs(s *obs.Sink) { sink = s }

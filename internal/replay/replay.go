@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cst"
 	"repro/internal/ctt"
+	"repro/internal/obs"
 	"repro/internal/stride"
 	"repro/internal/trace"
 )
@@ -56,10 +57,14 @@ func (s RankSource) Cycles(gid int32) []ctt.Cycle { return s.C.Data[gid].Cycles 
 // pointer passed to emit is only valid for the duration of the callback.
 func Events(src Source, rank int, emit func(e *trace.Event)) error {
 	var ev trace.Event
-	return walkSteps(src, rank, func(rec *ctt.CommRecord, k int64) {
+	var n int64
+	err := walkSteps(src, rank, func(rec *ctt.CommRecord, k int64) {
 		synthesize(&ev, rec, rank, k)
 		emit(&ev)
+		n++
 	})
+	sink.Add(obs.ReplayEventsEmitted, n)
+	return err
 }
 
 // Step is one emitted event of a replay skeleton: the source record and the
@@ -110,6 +115,7 @@ func EmitSkeleton(steps []Step, rank int, emit func(e *trace.Event)) {
 	}
 	*ev = trace.Event{} // drop record-aliased slices before pooling
 	evPool.Put(ev)
+	sink.Add(obs.ReplayEventsEmitted, int64(len(steps)))
 }
 
 // Cursor is a pull iterator over a replay skeleton: the per-rank-iterator
@@ -120,6 +126,9 @@ type Cursor struct {
 	rank  int
 	i     int
 	ev    trace.Event
+	// counted marks the cursor's events as already folded into the sink's
+	// emission tally (done once, on exhaustion).
+	counted bool
 }
 
 // NewCursor returns a cursor over steps from rank's perspective.
@@ -131,6 +140,10 @@ func NewCursor(steps []Step, rank int) *Cursor {
 // returned pointer is only valid until the following Next call.
 func (c *Cursor) Next() (*trace.Event, bool) {
 	if c.i >= len(c.steps) {
+		if !c.counted {
+			c.counted = true
+			sink.Add(obs.ReplayEventsEmitted, int64(len(c.steps)))
+		}
 		return nil, false
 	}
 	st := &c.steps[c.i]

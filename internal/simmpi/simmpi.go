@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/mpisim"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -154,6 +155,8 @@ func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
 // as they are pulled, one at a time. The event an iterator yields is held by
 // value across blocked retries, so sources may reuse their buffers.
 func SimulateStream(srcs []EventSource, params mpisim.Params) (Result, error) {
+	sp := sink.Start(obs.StageSimulate)
+	defer sp.End()
 	n := len(srcs)
 	if n == 0 {
 		return Result{}, fmt.Errorf("simmpi: no ranks")
@@ -210,6 +213,7 @@ func SimulateStream(srcs []EventSource, params mpisim.Params) (Result, error) {
 					if !r.have {
 						r.cur = *e
 						r.have = true
+						sink.Inc(obs.SimBlockedCopies)
 					}
 					break
 				}
@@ -223,12 +227,15 @@ func SimulateStream(srcs []EventSource, params mpisim.Params) (Result, error) {
 		}
 	}
 	res := Result{PerRankNS: make([]float64, n), CommNS: make([]float64, n), ComputeNS: make([]float64, n)}
+	var processed int64
 	for i := range ranks {
 		res.PerRankNS[i] = ranks[i].clock
 		res.CommNS[i] = ranks[i].comm
 		res.ComputeNS[i] = ranks[i].compute
 		res.TotalNS = math.Max(res.TotalNS, ranks[i].clock)
+		processed += int64(ranks[i].idx)
 	}
+	sink.Add(obs.SimEventsProcessed, processed)
 	return res, nil
 }
 
@@ -262,7 +269,11 @@ func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
 		inject := p.OverheadNS + p.GapPerByteNS*float64(e.Size)
 		r.clock += inject
 		key := msgKey{rid, e.Peer, e.Tag}
-		queues.at(key).push(r.clock + p.LatencyNS)
+		q := queues.at(key)
+		q.push(r.clock + p.LatencyNS)
+		if sink.Enabled() {
+			sink.Observe(obs.HistSimQueueDepth, int64(q.len()))
+		}
 		if e.Op == trace.OpIsend {
 			// Request bookkeeping only; sends complete locally.
 		}

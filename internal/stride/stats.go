@@ -1,0 +1,13 @@
+package stride
+
+// RunCount returns the number of stride runs backing the sequence. Together
+// with Len it quantifies compressibility: a vector whose values all continue
+// one arithmetic progression has RunCount 1 regardless of length.
+func (v *Vector) RunCount() int { return int(v.nr) }
+
+// RawBytes returns the uncompressed footprint of the sequence: one 8-byte
+// word per stored value. Comparing against SizeBytes (24 bytes per run, the
+// same conservative bound used throughout the compression-ratio accounting)
+// yields the bytes the stride encoding saves — or wastes, for incompressible
+// sequences whose runs are mostly singletons.
+func (v *Vector) RawBytes() int64 { return 8 * v.n }

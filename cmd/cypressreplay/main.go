@@ -13,8 +13,10 @@
 //
 // -stream routes every mode through the streaming replayer (resolved views +
 // shared replay skeletons, no full per-rank materialization); -par N bounds
-// the parallel rank fan-out (0 = GOMAXPROCS). The printed output is identical
-// with and without -stream.
+// every parallel phase (0 = GOMAXPROCS): the rank fan-out of the -stream
+// replay modes, skeleton preparation, and the epoch-parallel LogGP simulation
+// behind -predict (with or without -stream). The printed output and the
+// predicted times are identical at every -par value.
 package main
 
 import (
@@ -43,7 +45,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the communication volume matrix")
 	predict := flag.Bool("predict", false, "run the LogGP performance prediction")
 	stream := flag.Bool("stream", false, "use the streaming replayer (shared skeletons, no materialization)")
-	par := flag.Int("par", 1, "parallel rank fan-out for -stream modes (0 = GOMAXPROCS)")
+	par := flag.Int("par", 1, "worker bound for every parallel phase (0 = GOMAXPROCS): -stream rank fan-out, skeleton preparation, and the -predict LogGP simulation; results are identical at every value")
 	limit := flag.Int("limit", 50, "max events to print per rank (0 = all)")
 	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
@@ -218,7 +220,8 @@ func commMatrix(m *merge.Merged, stream bool, par int) ([][]int64, error) {
 
 // predictRun feeds the decompressed traces to the LogGP simulator, either by
 // materializing every rank (legacy) or by streaming pull cursors over shared
-// skeletons prepared in parallel.
+// skeletons prepared in parallel. par bounds both skeleton preparation and
+// the simulator's worker pool; the prediction is identical at every value.
 func predictRun(m *merge.Merged, stream bool, par int) (simmpi.Result, error) {
 	if stream {
 		s := merge.NewStreamer(m)
@@ -233,7 +236,7 @@ func predictRun(m *merge.Merged, stream bool, par int) (simmpi.Result, error) {
 			}
 			srcs[rank] = cur
 		}
-		return simmpi.SimulateStream(srcs, mpisim.DefaultParams())
+		return simmpi.SimulateStreamPar(srcs, mpisim.DefaultParams(), par)
 	}
 	seqs := make([][]trace.Event, m.NumRanks)
 	for r := range seqs {
@@ -243,5 +246,5 @@ func predictRun(m *merge.Merged, stream bool, par int) (simmpi.Result, error) {
 		}
 		seqs[r] = seq
 	}
-	return simmpi.Simulate(seqs, mpisim.DefaultParams())
+	return simmpi.SimulatePar(seqs, mpisim.DefaultParams(), par)
 }

@@ -196,17 +196,20 @@ func (r *Result) ReplayEvents(rank int, emit func(e *trace.Event)) error {
 
 // Predict decompresses every rank and runs the LogGP trace-driven simulator,
 // returning the predicted job performance (paper Figure 14's pipeline). It is
-// PredictPar with the default worker count.
+// PredictPar with the default worker count (GOMAXPROCS); the result does not
+// depend on the worker count.
 func (r *Result) Predict() (simmpi.Result, error) {
 	return r.PredictPar(0)
 }
 
-// PredictPar is Predict with an explicit worker bound for the parallel
-// skeleton-preparation phase (workers <= 0 uses GOMAXPROCS). Rank sequences
-// are fed to the simulator as pull iterators over shared replay skeletons, so
-// peak memory is O(classes · events-per-rank) instead of O(ranks ·
-// events-per-rank); the simulation itself is the sequential discrete-event
-// engine and its result is identical to simulating materialized sequences.
+// PredictPar is Predict with an explicit worker bound covering both parallel
+// phases (workers <= 0 uses GOMAXPROCS): skeleton preparation and the
+// epoch-parallel LogGP simulation itself. Rank sequences are fed to the
+// simulator as pull iterators over shared replay skeletons, so peak memory is
+// O(classes · events-per-rank) instead of O(ranks · events-per-rank), and the
+// simulator advances ranks concurrently inside conservative lookahead
+// windows. The result is bit-identical at every worker count and identical
+// to simulating materialized sequences.
 func (r *Result) PredictPar(workers int) (simmpi.Result, error) {
 	s := r.Streamer()
 	if err := s.Prepare(workers); err != nil {
@@ -220,7 +223,7 @@ func (r *Result) PredictPar(workers int) (simmpi.Result, error) {
 		}
 		srcs[rank] = cur
 	}
-	return simmpi.SimulateStream(srcs, r.params)
+	return simmpi.SimulateStreamPar(srcs, r.params, workers)
 }
 
 // PredictMaterialized is the pre-streaming reference implementation of

@@ -280,6 +280,16 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 			if !reflect.DeepEqual(wantPred, gotPred) {
 				t.Fatalf("streaming Predict differs from materialized:\n got %+v\nwant %+v", gotPred, wantPred)
 			}
+			for _, workers := range []int{1, 2, 4, 0} {
+				parPred, err := res.PredictPar(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(wantPred, parPred) {
+					t.Fatalf("PredictPar(%d) differs from materialized:\n got %+v\nwant %+v",
+						workers, parPred, wantPred)
+				}
+			}
 			wantMat, err := res.CommMatrixMaterialized()
 			if err != nil {
 				t.Fatal(err)

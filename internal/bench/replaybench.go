@@ -138,7 +138,9 @@ func perRankEvents(m *merge.Merged) float64 {
 // benchPredict measures the full streaming prediction pipeline per op:
 // skeleton preparation (parallel), one pull cursor per rank, and the LogGP
 // simulation — end to end from the merged tree, nothing materialized.
-func benchPredict(b *testing.B, n int) {
+// workers bounds the simulation's worker pool; the prediction is identical
+// at every value.
+func benchPredict(b *testing.B, n, workers int) {
 	m := mergedRing(b, n, 24)
 	params := mpisim.DefaultParams()
 	b.ReportAllocs()
@@ -156,7 +158,7 @@ func benchPredict(b *testing.B, n int) {
 			}
 			srcs[rank] = cur
 		}
-		if _, err := simmpi.SimulateStream(srcs, params); err != nil {
+		if _, err := simmpi.SimulateStreamPar(srcs, params, workers); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -164,11 +166,65 @@ func benchPredict(b *testing.B, n int) {
 }
 
 // BenchPredict256 predicts a 256-rank ring from the merged trace.
-func BenchPredict256(b *testing.B) { benchPredict(b, 256) }
+func BenchPredict256(b *testing.B) { benchPredict(b, 256, 1) }
 
 // BenchPredict1024 predicts a 1024-rank ring from the merged trace (the PR 3
-// acceptance benchmark).
-func BenchPredict1024(b *testing.B) { benchPredict(b, 1024) }
+// acceptance benchmark; workers=1 keeps it comparable across PRs).
+func BenchPredict1024(b *testing.B) { benchPredict(b, 1024, 1) }
+
+// BenchPredict1024W2 is BenchPredict1024 with the simulation epoch-parallel
+// across 2 workers.
+func BenchPredict1024W2(b *testing.B) { benchPredict(b, 1024, 2) }
+
+// BenchPredict1024W4 is BenchPredict1024 with the simulation epoch-parallel
+// across 4 workers.
+func BenchPredict1024W4(b *testing.B) { benchPredict(b, 1024, 4) }
+
+// benchSimulate isolates the LogGP engine from skeleton preparation: cursors
+// are prepared once and rewound every op, so the measured loop is purely the
+// simulator's event processing, matching, and (for workers > 1) window
+// scheduling.
+func benchSimulate(b *testing.B, n, workers int) {
+	m := mergedRing(b, n, 24)
+	s := merge.NewStreamer(m)
+	if err := s.Prepare(0); err != nil {
+		b.Fatal(err)
+	}
+	curs := make([]*replay.Cursor, n)
+	srcs := make([]simmpi.EventSource, n)
+	for rank := range curs {
+		cur, err := s.Cursor(rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		curs[rank] = cur
+		srcs[rank] = cur
+	}
+	params := mpisim.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range curs {
+			c.Rewind()
+		}
+		if _, err := simmpi.SimulateStreamPar(srcs, params, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "ranks/op")
+}
+
+// BenchSimulate1024W1 runs the engine-only 1024-rank simulation on the
+// sequential driver.
+func BenchSimulate1024W1(b *testing.B) { benchSimulate(b, 1024, 1) }
+
+// BenchSimulate1024W2 runs the engine-only 1024-rank simulation epoch-
+// parallel across 2 workers.
+func BenchSimulate1024W2(b *testing.B) { benchSimulate(b, 1024, 2) }
+
+// BenchSimulate1024W4 runs the engine-only 1024-rank simulation epoch-
+// parallel across 4 workers.
+func BenchSimulate1024W4(b *testing.B) { benchSimulate(b, 1024, 4) }
 
 // benchPredictMaterialized is the pre-streaming reference pipeline:
 // decompress all n ranks into full event slices through the rankView walk,

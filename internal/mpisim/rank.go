@@ -77,11 +77,12 @@ func (r *Rank) emit(e *trace.Event, startNS float64) {
 	r.sink.Event(e)
 }
 
-// p2pCost is the sender-side cost of injecting a message.
+// p2pCost is the sender-side cost of injecting a message: the shared LogGP
+// injection formula with this rank's deterministic noise applied.
 func (r *Rank) p2pCost(size int) float64 {
 	p := r.rt.params
 	r.seq++
-	return (p.OverheadNS + p.GapPerByteNS*float64(size)) * p.noise(r.id, r.seq)
+	return p.InjectNS(size) * p.noise(r.id, r.seq)
 }
 
 // Send performs a blocking standard-mode send. Sends are eager: the payload

@@ -84,6 +84,9 @@ const (
 	ReplayEventsEmitted  // events synthesized by replay paths
 	SimEventsProcessed   // events consumed by the LogGP engine
 	SimBlockedCopies     // blocked events copied into rank-local buffers
+	SimWindows           // lookahead windows (sequential sweeps count too)
+	SimBarrierStalls     // rank visits that reached the window barrier with no progress
+	SimMatchDepthPeak    // peak per-key match-table depth (gauge)
 
 	NumCounters // sentinel; must be last
 )
@@ -134,6 +137,9 @@ var counterNames = [NumCounters]string{
 	ReplayEventsEmitted:  "replay_events_emitted",
 	SimEventsProcessed:   "sim_events_processed",
 	SimBlockedCopies:     "sim_blocked_copies",
+	SimWindows:           "sim_windows",
+	SimBarrierStalls:     "sim_barrier_stalls",
+	SimMatchDepthPeak:    "sim_match_table_peak",
 }
 
 // String returns the counter's stable snake_case name (the JSON/expvar key).
@@ -148,9 +154,11 @@ func (c Counter) String() string {
 type Hist uint8
 
 const (
-	HistReqOccupancy  Hist = iota // live requests at each non-blocking post
-	HistWildcardDepth             // cached wildcard events at each cache insert
-	HistSimQueueDepth             // in-flight message queue depth at each send
+	HistReqOccupancy    Hist = iota // live requests at each non-blocking post
+	HistWildcardDepth               // cached wildcard events at each cache insert
+	HistSimQueueDepth               // in-flight message queue depth at each send
+	HistSimWindowEvents             // events processed per lookahead window
+	HistSimWindowNS                 // wall time per lookahead window
 	// Per-depth merge pair wall times: L1 merges two leaves, L2 merges two
 	// 2-rank trees, and so on; L8 absorbs every deeper level.
 	HistMergePairL1
@@ -166,17 +174,19 @@ const (
 )
 
 var histNames = [NumHists]string{
-	HistReqOccupancy:  "req_table_occupancy",
-	HistWildcardDepth: "wildcard_cache_depth",
-	HistSimQueueDepth: "sim_queue_depth",
-	HistMergePairL1:   "merge_pair_ns_l1",
-	HistMergePairL2:   "merge_pair_ns_l2",
-	HistMergePairL3:   "merge_pair_ns_l3",
-	HistMergePairL4:   "merge_pair_ns_l4",
-	HistMergePairL5:   "merge_pair_ns_l5",
-	HistMergePairL6:   "merge_pair_ns_l6",
-	HistMergePairL7:   "merge_pair_ns_l7",
-	HistMergePairL8:   "merge_pair_ns_l8",
+	HistReqOccupancy:    "req_table_occupancy",
+	HistWildcardDepth:   "wildcard_cache_depth",
+	HistSimQueueDepth:   "sim_queue_depth",
+	HistSimWindowEvents: "sim_window_events",
+	HistSimWindowNS:     "sim_window_ns",
+	HistMergePairL1:     "merge_pair_ns_l1",
+	HistMergePairL2:     "merge_pair_ns_l2",
+	HistMergePairL3:     "merge_pair_ns_l3",
+	HistMergePairL4:     "merge_pair_ns_l4",
+	HistMergePairL5:     "merge_pair_ns_l5",
+	HistMergePairL6:     "merge_pair_ns_l6",
+	HistMergePairL7:     "merge_pair_ns_l7",
+	HistMergePairL8:     "merge_pair_ns_l8",
 }
 
 // String returns the histogram's stable snake_case name.

@@ -155,6 +155,21 @@ func (c *Cursor) Next() (*trace.Event, bool) {
 // Len returns the total number of events the cursor will yield.
 func (c *Cursor) Len() int { return len(c.steps) }
 
+// Rewind resets the cursor to the start of its skeleton, so one prepared
+// cursor can feed repeated simulations (worker sweeps, benchmarks) without
+// re-resolving the rank. Each pass counts toward the sink's emission tally.
+func (c *Cursor) Rewind() {
+	c.i = 0
+	c.counted = false
+}
+
+// Clone returns an independent cursor over the same shared skeleton,
+// positioned at the start. Clones share no mutable state, so concurrent
+// consumers can walk one memoized class skeleton side by side.
+func (c *Cursor) Clone() *Cursor {
+	return NewCursor(c.steps, c.rank)
+}
+
 // synthesize materializes one replayed event from a record occurrence; the
 // single definition shared by Events, EmitSkeleton, and Cursor keeps every
 // replay path byte-identical.

@@ -1,0 +1,215 @@
+package simmpi
+
+// The epoch-parallel driver (workers > 1): a conservative parallel
+// discrete-event schedule over the shared engine in simmpi.go.
+//
+// Each epoch advances every live rank concurrently inside the lookahead
+// window [T, T + o + L), where T is the minimum clock over live ranks.
+// A message injected at time t is never visible before t + o + L
+// (mpisim.Params.LookaheadNS), so ranks inside the window cannot be starved
+// of a message that an in-window peer could still produce for them — the
+// classic conservative-PDES lookahead bound. Ranks whose clocks already sit
+// past the window still process at least one event per visit (advance checks
+// the bound only after progress), which both guarantees liveness when the
+// window's floor rank is blocked on a fast-forwarded peer and keeps
+// compute-heavy events from exploding the epoch count.
+//
+// Determinism does not depend on the window at all: every step's outcome is
+// a function of rank-local state plus FIFO match chains with a single writer
+// (the source rank, in program order) and a single reader (the destination
+// rank, in program order), plus order-independent max-folds for collectives.
+// The window exists for scheduling fairness and bounded skew, not
+// correctness; any conservative schedule yields the bit-identical Result.
+//
+// The pool is W persistent workers plus one reusable generation barrier.
+// The last worker to arrive runs the window turn (compaction, stall check,
+// next window bounds) while the others are parked, so the steady-state
+// window loop allocates nothing.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// parState is the parallel driver's scheduling state, embedded in the engine
+// only while runParallel is active.
+type parState struct {
+	active    []int32 // live rank ids, compacted at each window turn
+	nActive   int
+	lookahead float64
+	windowEnd float64
+	windowT0  time.Time
+
+	cursor   atomic.Int64 // next index into active claimed by a worker
+	progress atomic.Int64 // events processed in the current window
+	stalls   atomic.Int64 // zero-progress rank visits in the current window
+
+	errMu sync.Mutex
+	err   error
+}
+
+// runParallel executes the simulation with the given worker count (> 1).
+func (en *engine) runParallel(workers int) error {
+	en.ps.active = make([]int32, en.n)
+	for i := range en.ps.active {
+		en.ps.active[i] = int32(i)
+	}
+	en.ps.nActive = en.n
+	en.ps.lookahead = en.params.LookaheadNS()
+	if en.ps.lookahead <= 0 {
+		// Degenerate cost models have no lookahead to exploit; fall back to
+		// run-until-blocked epochs, which remain deterministic.
+		en.ps.lookahead = math.Inf(1)
+	}
+	en.ps.windowEnd = en.windowStart() + en.ps.lookahead
+	if sink.Enabled() {
+		en.ps.windowT0 = time.Now()
+	}
+	bar := newBarrier(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			en.worker(bar)
+		}()
+	}
+	wg.Wait()
+	return en.ps.err
+}
+
+// worker claims ranks off the window work list until the list drains, then
+// joins the barrier; the last arriver runs the window turn. Rank indices are
+// claimed atomically, so a rank is advanced by exactly one worker per window,
+// and the barrier orders the hand-off of its cursor state to the next window.
+func (en *engine) worker(bar *barrier) {
+	for {
+		for {
+			i := en.ps.cursor.Add(1) - 1
+			if i >= int64(en.ps.nActive) {
+				break
+			}
+			p, err := en.advance(int(en.ps.active[i]), en.ps.windowEnd)
+			if err != nil {
+				en.fail(err)
+			}
+			if p > 0 {
+				en.ps.progress.Add(int64(p))
+			} else {
+				en.ps.stalls.Add(1)
+			}
+		}
+		if !bar.await(en.windowTurn) {
+			return
+		}
+	}
+}
+
+// fail records the first error; later errors (other ranks tripping over the
+// same inconsistency) are dropped. Which error wins can vary with the
+// schedule, but whether one occurs cannot.
+func (en *engine) fail(err error) {
+	en.ps.errMu.Lock()
+	if en.ps.err == nil {
+		en.ps.err = err
+	}
+	en.ps.errMu.Unlock()
+}
+
+// windowTurn runs between windows with every worker parked at the barrier:
+// it folds the window's metrics, compacts finished ranks out of the active
+// list, detects completion and stalls, and opens the next window. It reports
+// whether another window follows.
+func (en *engine) windowTurn() bool {
+	progressed := en.ps.progress.Swap(0)
+	en.ps.cursor.Store(0)
+	if sink.Enabled() {
+		sink.Inc(obs.SimWindows)
+		sink.Observe(obs.HistSimWindowEvents, progressed)
+		sink.Add(obs.SimBarrierStalls, en.ps.stalls.Swap(0))
+		sink.ObserveSince(obs.HistSimWindowNS, en.ps.windowT0)
+		en.ps.windowT0 = time.Now()
+	} else {
+		en.ps.stalls.Store(0)
+	}
+	if en.ps.err != nil {
+		return false
+	}
+	keep := en.ps.active[:0]
+	for _, rid := range en.ps.active[:en.ps.nActive] {
+		if !en.ranks[rid].done {
+			keep = append(keep, rid)
+		}
+	}
+	en.ps.nActive = len(keep)
+	if en.ps.nActive == 0 {
+		return false // every source drained: success
+	}
+	if progressed == 0 {
+		// Same condition as the sequential driver's stalled sweep: a full
+		// pass over every live rank moved nothing.
+		en.ps.err = fmt.Errorf("simmpi: simulation stalled (mismatched trace?): %s", stallState(en.ranks))
+		return false
+	}
+	en.ps.windowEnd = en.windowStart() + en.ps.lookahead
+	return true
+}
+
+// windowStart returns the minimum clock over live ranks — the conservative
+// floor no in-window event can causally precede.
+func (en *engine) windowStart() float64 {
+	t := math.Inf(1)
+	for _, rid := range en.ps.active[:en.ps.nActive] {
+		t = math.Min(t, en.ranks[rid].clock)
+	}
+	return t
+}
+
+// barrier is a reusable generation barrier for the worker pool. The last
+// arriver runs the turn function while every other worker is parked on the
+// condition variable, then ticks the generation and releases them; a false
+// turn latches the stopped state so every worker exits. One barrier serves
+// all windows — the steady-state loop allocates nothing.
+type barrier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	workers int
+	arrived int
+	gen     uint64
+	stopped bool
+}
+
+func newBarrier(workers int) *barrier {
+	b := &barrier{workers: workers}
+	b.cond.L = &b.mu
+	return b
+}
+
+// await blocks until every worker arrives. The barrier's mutex makes each
+// worker's window writes visible to the turn, and the turn's writes visible
+// to every worker it releases. It reports whether another window follows.
+func (b *barrier) await(turn func() bool) bool {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived == b.workers {
+		b.arrived = 0
+		if !turn() {
+			b.stopped = true
+		}
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		gen := b.gen
+		for b.gen == gen {
+			b.cond.Wait()
+		}
+	}
+	stopped := b.stopped
+	b.mu.Unlock()
+	return !stopped
+}

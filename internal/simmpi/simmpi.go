@@ -3,16 +3,23 @@
 // CYPRESS traces (communication sequence + per-record sequential computation
 // time) plus network parameters yield a predicted execution time.
 //
-// The simulator is a sequential discrete-event engine: each rank advances a
+// The simulator is a conservative discrete-event engine: each rank advances a
 // local clock through its event sequence; point-to-point completions couple
 // to the matching sender's injection time plus latency, and collectives
 // synchronize all ranks with the binomial-tree cost model shared with the
-// mpisim runtime.
+// mpisim runtime. Point-to-point matches resolve through per-destination
+// match-table shards keyed by (source, tag), and one engine serves both
+// drivers: the sequential sweep (workers = 1) and the epoch-parallel
+// lookahead-window driver in engine.go (workers > 1). Results are
+// bit-identical at every worker count — see DESIGN.md "Parallel simulation"
+// for the determinism argument.
 package simmpi
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/mpisim"
 	"repro/internal/obs"
@@ -44,45 +51,6 @@ func (r Result) CommFraction() float64 {
 	return comm / tot
 }
 
-type msgKey struct {
-	src, dst, tag int
-}
-
-// msgQueue is a FIFO of in-flight message arrival times. Pointer-valued map
-// entries keep the hot send/recv path at one map lookup per operation: push
-// and pop mutate the queue in place, where the historical value-slice map
-// paid a second hash for the re-assign on every push and every pop.
-type msgQueue struct {
-	buf  []float64
-	head int
-}
-
-func (q *msgQueue) push(t float64) { q.buf = append(q.buf, t) }
-
-func (q *msgQueue) len() int { return len(q.buf) - q.head }
-
-func (q *msgQueue) pop() float64 {
-	t := q.buf[q.head]
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
-	}
-	return t
-}
-
-// queueMap lazily creates per-key queues.
-type queueMap map[msgKey]*msgQueue
-
-func (m queueMap) at(k msgKey) *msgQueue {
-	q := m[k]
-	if q == nil {
-		q = &msgQueue{}
-		m[k] = q
-	}
-	return q
-}
-
 type pendingRecv struct {
 	gid  int32
 	peer int
@@ -103,6 +71,13 @@ type simRank struct {
 	pending []pendingRecv
 	collIdx int
 	inColl  bool
+
+	// Completion scratch, reused across events so the steady-state loop is
+	// allocation-free once warm (the historical engine built two maps per
+	// completion op).
+	toComplete []int
+	used       []bool
+	avails     []float64
 }
 
 type collGroup struct {
@@ -142,11 +117,17 @@ func (s *sliceSource) Next() (*trace.Event, bool) {
 // SimulateStream over materialized slices; both entry points share one
 // engine, so their results are identical for identical sequences.
 func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
+	return SimulatePar(seqs, params, 1)
+}
+
+// SimulatePar is Simulate with an explicit simulation worker bound; see
+// SimulateStreamPar for the worker semantics.
+func SimulatePar(seqs [][]trace.Event, params mpisim.Params, workers int) (Result, error) {
 	srcs := make([]EventSource, len(seqs))
 	for i := range seqs {
 		srcs[i] = &sliceSource{evs: seqs[i]}
 	}
-	return SimulateStream(srcs, params)
+	return SimulateStreamPar(srcs, params, workers)
 }
 
 // SimulateStream predicts execution for per-rank event streams pulled from
@@ -155,88 +136,176 @@ func Simulate(seqs [][]trace.Event, params mpisim.Params) (Result, error) {
 // as they are pulled, one at a time. The event an iterator yields is held by
 // value across blocked retries, so sources may reuse their buffers.
 func SimulateStream(srcs []EventSource, params mpisim.Params) (Result, error) {
+	return SimulateStreamPar(srcs, params, 1)
+}
+
+// SimulateStreamPar is SimulateStream with an explicit worker bound for the
+// epoch-parallel engine (workers <= 0 uses GOMAXPROCS; the bound is clamped
+// to the rank count). workers == 1 runs the sequential sweep driver with
+// zero locking; workers > 1 advances ranks concurrently inside conservative
+// lookahead windows. The Result is bit-identical at every worker count.
+// Each source is still consumed by at most one goroutine at a time (window
+// barriers order the hand-offs), so replay cursors need no locking.
+func SimulateStreamPar(srcs []EventSource, params mpisim.Params, workers int) (Result, error) {
 	sp := sink.Start(obs.StageSimulate)
 	defer sp.End()
 	n := len(srcs)
 	if n == 0 {
 		return Result{}, fmt.Errorf("simmpi: no ranks")
 	}
-	ranks := make([]simRank, n)
-	for i := range ranks {
-		ranks[i].src = srcs[i]
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	queues := queueMap{}
-	var colls []*collGroup
-
-	coll := func(idx int) *collGroup {
-		for len(colls) <= idx {
-			colls = append(colls, &collGroup{})
-		}
-		return colls[idx]
+	if workers > n {
+		workers = n
 	}
+	en := newEngine(srcs, params, workers > 1)
+	var err error
+	if en.par {
+		err = en.runParallel(workers)
+	} else {
+		err = en.runSequential()
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return en.result(), nil
+}
 
-	remaining := n
-	for remaining > 0 {
-		progressed := false
-		for rid := range ranks {
-			r := &ranks[rid]
-			for {
-				// Events are processed straight off the source's pointer and
-				// copied into r.cur only when they block: the common case
-				// (event processes first try) never pays the struct copy.
-				var e *trace.Event
-				if r.have {
-					e = &r.cur
-				} else {
-					if r.done {
-						break
-					}
-					ev, more := r.src.Next()
-					if !more {
-						if r.started {
-							r.done = true
-							remaining--
-						}
-						// else: source empty from the start — mirror the
-						// historical engine, which never marked zero-event
-						// ranks done and reported a stall instead.
-						break
-					}
-					r.started = true
-					e = ev
-				}
-				ok, err := step(r, rid, e, n, params, queues, coll)
-				if err != nil {
-					return Result{}, err
-				}
-				if !ok {
-					if !r.have {
-						r.cur = *e
-						r.have = true
-						sink.Inc(obs.SimBlockedCopies)
-					}
-					break
-				}
-				progressed = true
-				r.have = false
-				r.idx++
+// engine is the shared simulation state of both drivers. The par flag
+// selects whether shard and collective access takes locks; with a single
+// worker every lock is skipped, keeping the sequential path's per-event cost
+// identical to the historical engine's.
+type engine struct {
+	params mpisim.Params
+	n      int
+	par    bool
+	ranks  []simRank
+	shards []matchShard
+
+	collMu sync.Mutex
+	colls  []*collGroup
+
+	// ps is the parallel driver's scheduling state (engine.go); untouched by
+	// the sequential driver.
+	ps parState
+}
+
+func newEngine(srcs []EventSource, params mpisim.Params, par bool) *engine {
+	en := &engine{params: params, n: len(srcs), par: par}
+	en.ranks = make([]simRank, en.n)
+	for i := range en.ranks {
+		en.ranks[i].src = srcs[i]
+	}
+	en.shards = make([]matchShard, en.n)
+	for i := range en.shards {
+		en.shards[i].q = map[matchKey]*msgQueue{}
+	}
+	return en
+}
+
+// runSequential is the workers == 1 driver: sweep every rank in order, each
+// processing events until it blocks, until all sources are drained or no
+// sweep makes progress. Each sweep is reported as one window so the
+// per-window metrics stay meaningful across drivers.
+func (en *engine) runSequential() error {
+	for {
+		progressed := 0
+		remaining := 0
+		for rid := range en.ranks {
+			p, err := en.advance(rid, math.Inf(1))
+			if err != nil {
+				return err
+			}
+			progressed += p
+			if !en.ranks[rid].done {
+				remaining++
 			}
 		}
-		if !progressed && remaining > 0 {
-			return Result{}, fmt.Errorf("simmpi: simulation stalled (mismatched trace?): %s", stallState(ranks))
+		if sink.Enabled() {
+			sink.Inc(obs.SimWindows)
+			sink.Observe(obs.HistSimWindowEvents, int64(progressed))
+		}
+		if remaining == 0 {
+			return nil
+		}
+		if progressed == 0 {
+			return fmt.Errorf("simmpi: simulation stalled (mismatched trace?): %s", stallState(en.ranks))
 		}
 	}
-	res := Result{PerRankNS: make([]float64, n), CommNS: make([]float64, n), ComputeNS: make([]float64, n)}
+}
+
+// advance drains rank rid: it processes events until the rank blocks, its
+// source is exhausted, or its clock passes windowEnd — checked only after at
+// least one event processed, so every unblocked rank is guaranteed progress
+// per visit (the liveness bound of the parallel driver). It returns the
+// number of events processed.
+func (en *engine) advance(rid int, windowEnd float64) (int, error) {
+	r := &en.ranks[rid]
+	processed := 0
+	for {
+		// Events are processed straight off the source's pointer and copied
+		// into r.cur only when they block: the common case (event processes
+		// first try) never pays the struct copy.
+		var e *trace.Event
+		if r.have {
+			e = &r.cur
+		} else {
+			if r.done {
+				break
+			}
+			ev, more := r.src.Next()
+			if !more {
+				if r.started {
+					r.done = true
+				}
+				// else: source empty from the start — mirror the historical
+				// engine, which never marked zero-event ranks done and
+				// reported a stall instead.
+				break
+			}
+			r.started = true
+			e = ev
+		}
+		ok, err := en.step(r, rid, e)
+		if err != nil {
+			return processed, err
+		}
+		if !ok {
+			if !r.have {
+				r.cur = *e
+				r.have = true
+				sink.Inc(obs.SimBlockedCopies)
+			}
+			break
+		}
+		r.have = false
+		r.idx++
+		processed++
+		if r.clock >= windowEnd {
+			break
+		}
+	}
+	return processed, nil
+}
+
+// result assembles the Result from the final per-rank state.
+func (en *engine) result() Result {
+	res := Result{
+		PerRankNS: make([]float64, en.n),
+		CommNS:    make([]float64, en.n),
+		ComputeNS: make([]float64, en.n),
+	}
 	var processed int64
-	for i := range ranks {
-		res.PerRankNS[i] = ranks[i].clock
-		res.CommNS[i] = ranks[i].comm
-		res.ComputeNS[i] = ranks[i].compute
-		res.TotalNS = math.Max(res.TotalNS, ranks[i].clock)
-		processed += int64(ranks[i].idx)
+	for i := range en.ranks {
+		res.PerRankNS[i] = en.ranks[i].clock
+		res.CommNS[i] = en.ranks[i].comm
+		res.ComputeNS[i] = en.ranks[i].compute
+		res.TotalNS = math.Max(res.TotalNS, en.ranks[i].clock)
+		processed += int64(en.ranks[i].idx)
 	}
 	sink.Add(obs.SimEventsProcessed, processed)
-	return res, nil
+	return res
 }
 
 func stallState(ranks []simRank) string {
@@ -248,96 +317,149 @@ func stallState(ranks []simRank) string {
 	return "all done"
 }
 
+// sendMsg publishes one message arrival into the destination's shard and
+// returns the key's queue depth after the push.
+func (en *engine) sendMsg(dst int, k matchKey, t float64) int {
+	sh := &en.shards[dst]
+	if en.par {
+		sh.mu.Lock()
+		d := sh.push(k, t)
+		sh.mu.Unlock()
+		return d
+	}
+	return sh.push(k, t)
+}
+
+// recvMsg pops the head arrival for k at dst's shard, if one is queued.
+// Popping before the clock advances is equivalent to the historical
+// check-then-pop: the pop commits the step, and compute accumulation does
+// not interact with the shard.
+func (en *engine) recvMsg(dst int, k matchKey) (float64, bool) {
+	sh := &en.shards[dst]
+	if en.par {
+		sh.mu.Lock()
+		t, ok := sh.tryPop(k)
+		sh.mu.Unlock()
+		return t, ok
+	}
+	return sh.tryPop(k)
+}
+
+// completeRecvs checks, in one shard critical section, that every receive in
+// r.toComplete has a queued message at rid's shard, and if so pops them all
+// in completion order into r.avails. All keys live in rank rid's own shard,
+// and only rid pops it, so a concurrent push between check and pop can only
+// add availability, never steal a counted message.
+func (en *engine) completeRecvs(rid int, r *simRank) bool {
+	sh := &en.shards[rid]
+	if en.par {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	// Entry i needs the queue for its key to hold every earlier same-key
+	// completion plus itself. Pending lists are short, so the quadratic scan
+	// beats the historical per-event count map.
+	for i, pi := range r.toComplete {
+		pr := &r.pending[pi]
+		need := 1
+		for _, pj := range r.toComplete[:i] {
+			pq := &r.pending[pj]
+			if pq.peer == pr.peer && pq.tag == pr.tag {
+				need++
+			}
+		}
+		if sh.depth(matchKey{pr.peer, pr.tag}) < need {
+			return false
+		}
+	}
+	r.avails = r.avails[:0]
+	for _, pi := range r.toComplete {
+		pr := &r.pending[pi]
+		r.avails = append(r.avails, sh.pop(matchKey{pr.peer, pr.tag}))
+	}
+	return true
+}
+
 // step attempts to process one event; it returns false when the event must
-// wait for progress elsewhere.
-func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
-	queues queueMap, coll func(int) *collGroup) (bool, error) {
+// wait for progress elsewhere. Every clock/comm/compute update is a function
+// of rank-local state plus values read from the rank's own match shard or
+// collective group, so the outcome is invariant under the schedule that
+// interleaved other ranks' steps (see DESIGN.md "Parallel simulation").
+func (en *engine) step(r *simRank, rid int, e *trace.Event) (bool, error) {
+	p := en.params
 	// Compute time precedes the call.
 	advCompute := func() {
 		r.clock += e.ComputeNS
 		r.compute += e.ComputeNS
 	}
-	start := func() float64 { return r.clock }
 
 	switch {
 	case e.Op == trace.OpInit:
 		advCompute()
 		return true, nil
 	case e.Op == trace.OpSend || e.Op == trace.OpIsend:
+		// Isend differs only in request bookkeeping; sends complete locally.
 		advCompute()
-		t0 := start()
-		inject := p.OverheadNS + p.GapPerByteNS*float64(e.Size)
-		r.clock += inject
-		key := msgKey{rid, e.Peer, e.Tag}
-		q := queues.at(key)
-		q.push(r.clock + p.LatencyNS)
+		t0 := r.clock
+		r.clock += p.InjectNS(e.Size)
+		depth := en.sendMsg(e.Peer, matchKey{rid, e.Tag}, r.clock+p.LatencyNS)
 		if sink.Enabled() {
-			sink.Observe(obs.HistSimQueueDepth, int64(q.len()))
-		}
-		if e.Op == trace.OpIsend {
-			// Request bookkeeping only; sends complete locally.
+			sink.Observe(obs.HistSimQueueDepth, int64(depth))
+			sink.SetMax(obs.SimMatchDepthPeak, int64(depth))
 		}
 		r.comm += r.clock - t0
 		return true, nil
 	case e.Op == trace.OpIrecv:
 		advCompute()
-		t0 := start()
+		t0 := r.clock
 		r.clock += p.OverheadNS / 2
 		r.pending = append(r.pending, pendingRecv{gid: e.GID, peer: e.Peer, tag: e.Tag, size: e.Size})
 		r.comm += r.clock - t0
 		return true, nil
 	case e.Op == trace.OpRecv:
-		key := msgKey{e.Peer, rid, e.Tag}
-		q := queues[key]
-		if q == nil || q.len() == 0 {
+		avail, ok := en.recvMsg(rid, matchKey{e.Peer, e.Tag})
+		if !ok {
 			return false, nil // matching send not simulated yet
 		}
 		advCompute()
-		t0 := start()
-		avail := q.pop()
+		t0 := r.clock
 		r.clock = math.Max(r.clock+p.OverheadNS, avail)
 		r.comm += r.clock - t0
 		return true, nil
 	case e.Op.IsCompletion():
 		// Determine which pending receives complete here, by poster GID.
-		var toComplete []int
-		used := map[int]bool{}
+		r.toComplete = r.toComplete[:0]
+		r.used = r.used[:0]
+		for range r.pending {
+			r.used = append(r.used, false)
+		}
 		for _, gid := range e.Reqs {
-			for i, pr := range r.pending {
-				if used[i] || pr.gid != gid {
+			for i := range r.pending {
+				if r.used[i] || r.pending[i].gid != gid {
 					continue
 				}
-				toComplete = append(toComplete, i)
-				used[i] = true
+				r.toComplete = append(r.toComplete, i)
+				r.used[i] = true
 				break
 			}
 			// GIDs without a pending receive are completed sends: no wait.
 		}
 		// All needed messages must be available before the wait can finish.
-		needed := map[msgKey]int{}
-		for _, i := range toComplete {
-			pr := r.pending[i]
-			needed[msgKey{pr.peer, rid, pr.tag}]++
-		}
-		for key, cnt := range needed {
-			if q := queues[key]; q == nil || q.len() < cnt {
-				return false, nil
-			}
+		if !en.completeRecvs(rid, r) {
+			return false, nil
 		}
 		advCompute()
-		t0 := start()
-		for _, i := range toComplete {
-			pr := r.pending[i]
-			avail := queues[msgKey{pr.peer, rid, pr.tag}].pop()
+		t0 := r.clock
+		for _, avail := range r.avails {
 			r.clock = math.Max(r.clock, avail)
 		}
 		r.clock += p.OverheadNS / 2
 		// Drop completed receives from pending, preserving order.
-		if len(toComplete) > 0 {
+		if len(r.toComplete) > 0 {
 			kept := r.pending[:0]
-			for i, pr := range r.pending {
-				if !used[i] {
-					kept = append(kept, pr)
+			for i := range r.pending {
+				if !r.used[i] {
+					kept = append(kept, r.pending[i])
 				}
 			}
 			r.pending = kept
@@ -345,34 +467,56 @@ func step(r *simRank, rid int, e *trace.Event, n int, p mpisim.Params,
 		r.comm += r.clock - t0
 		return true, nil
 	case e.Op.IsCollective() || e.Op == trace.OpFinalize:
-		g := coll(r.collIdx)
-		if !r.inColl {
-			advCompute()
-			if g.arrived == 0 {
-				g.op, g.size = e.Op, e.Size
-			} else if g.op != e.Op || g.size != e.Size {
-				return false, fmt.Errorf("simmpi: collective mismatch at occurrence %d: rank %d %v(%d) vs %v(%d)",
-					r.collIdx, rid, e.Op, e.Size, g.op, g.size)
-			}
-			g.arrived++
-			g.maxT = math.Max(g.maxT, r.clock)
-			r.inColl = true
-			if g.arrived == n {
-				g.finish = g.maxT + mpisim.CollectiveCostNS(p, n, e.Op, e.Size)
-				g.done = true
-			}
-		}
-		if !g.done {
-			return false, nil
-		}
-		r.comm += g.finish - r.clock
-		r.clock = g.finish
-		r.collIdx++
-		r.inColl = false
-		return true, nil
+		return en.stepColl(r, rid, e)
 	default:
-		// MPI_Init and anything without timing semantics.
+		// Anything without timing semantics.
 		advCompute()
 		return true, nil
 	}
+}
+
+// stepColl folds one rank's arrival into its next collective group. The
+// group's entry time is a max over arrival clocks — order-independent, so
+// the finish time is schedule-invariant. Which participant's mismatch is
+// reported can vary with the schedule; whether one is reported cannot,
+// since every participant eventually arrives and compares.
+func (en *engine) stepColl(r *simRank, rid int, e *trace.Event) (bool, error) {
+	if en.par {
+		en.collMu.Lock()
+		defer en.collMu.Unlock()
+	}
+	g := en.coll(r.collIdx)
+	if !r.inColl {
+		r.clock += e.ComputeNS
+		r.compute += e.ComputeNS
+		if g.arrived == 0 {
+			g.op, g.size = e.Op, e.Size
+		} else if g.op != e.Op || g.size != e.Size {
+			return false, fmt.Errorf("simmpi: collective mismatch at occurrence %d: rank %d %v(%d) vs %v(%d)",
+				r.collIdx, rid, e.Op, e.Size, g.op, g.size)
+		}
+		g.arrived++
+		g.maxT = math.Max(g.maxT, r.clock)
+		r.inColl = true
+		if g.arrived == en.n {
+			g.finish = g.maxT + mpisim.CollectiveCostNS(en.params, en.n, e.Op, e.Size)
+			g.done = true
+		}
+	}
+	if !g.done {
+		return false, nil
+	}
+	r.comm += g.finish - r.clock
+	r.clock = g.finish
+	r.collIdx++
+	r.inColl = false
+	return true, nil
+}
+
+// coll lazily grows the collective table to hold index idx.
+func (en *engine) coll(idx int) *collGroup {
+	for len(en.colls) <= idx {
+		en.colls = append(en.colls, &collGroup{})
+	}
+	return en.colls[idx]
 }

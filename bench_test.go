@@ -57,6 +57,18 @@ func BenchmarkMergeAll1024(b *testing.B)       { bench.BenchMergeAll1024(b) }
 func BenchmarkMergeAll4096(b *testing.B)       { bench.BenchMergeAll4096(b) }
 func BenchmarkDecode(b *testing.B)             { bench.BenchDecode(b) }
 
+// Block-parallel container benchmarks (bodies in internal/bench/micro.go):
+// the gzip baseline beside the CYPB worker sweep. The emitted container bytes
+// are identical at every worker count, so the sweep isolates coordination
+// cost (single-core) or speedup (multi-core).
+
+func BenchmarkEncodeGzip1024(b *testing.B)      { bench.BenchEncodeGzip1024(b) }
+func BenchmarkEncodeBlocked1024W1(b *testing.B) { bench.BenchEncodeBlocked1024W1(b) }
+func BenchmarkEncodeBlocked1024W2(b *testing.B) { bench.BenchEncodeBlocked1024W2(b) }
+func BenchmarkEncodeBlocked1024W4(b *testing.B) { bench.BenchEncodeBlocked1024W4(b) }
+func BenchmarkDecodeBlocked1024W1(b *testing.B) { bench.BenchDecodeBlocked1024W1(b) }
+func BenchmarkDecodeBlocked1024W2(b *testing.B) { bench.BenchDecodeBlocked1024W2(b) }
+
 // Streaming decompression benchmarks (bodies in internal/bench/replaybench.go):
 // each streaming path is paired with its pre-streaming reference
 // (Walk / Materialized) so before/after comparisons stay runnable.

@@ -19,7 +19,10 @@
 // `go tool pprof`. -benchjson runs the registered microbenchmarks via
 // testing.Benchmark and writes machine-readable results for trajectory
 // tracking; it composes with -exp (benchmarks run first) and with the
-// profile flags, but the usual mode is -benchjson alone with -exp none.
+// profile flags, but the usual mode is -benchjson alone with -exp none. The
+// registry includes the trace-I/O suite (Encode, EncodeGzip1024, the
+// EncodeBlocked/DecodeBlocked CYPB worker sweeps), so container-format
+// regressions show up in the same trajectory file.
 package main
 
 import (

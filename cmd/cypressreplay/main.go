@@ -13,10 +13,12 @@
 //
 // -stream routes every mode through the streaming replayer (resolved views +
 // shared replay skeletons, no full per-rank materialization); -par N bounds
-// every parallel phase (0 = GOMAXPROCS): the rank fan-out of the -stream
-// replay modes, skeleton preparation, and the epoch-parallel LogGP simulation
-// behind -predict (with or without -stream). The printed output and the
-// predicted times are identical at every -par value.
+// every parallel phase (0 = GOMAXPROCS): the CYPB inflate pipeline of the
+// trace decode, the rank fan-out of the -stream replay modes, skeleton
+// preparation, and the epoch-parallel LogGP simulation behind -predict (with
+// or without -stream). The printed output and the predicted times are
+// identical at every -par value. Trace files in any container — raw CYPR,
+// gzip, or the CYPB block container — are sniffed automatically.
 package main
 
 import (
@@ -45,7 +47,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the communication volume matrix")
 	predict := flag.Bool("predict", false, "run the LogGP performance prediction")
 	stream := flag.Bool("stream", false, "use the streaming replayer (shared skeletons, no materialization)")
-	par := flag.Int("par", 1, "worker bound for every parallel phase (0 = GOMAXPROCS): -stream rank fan-out, skeleton preparation, and the -predict LogGP simulation; results are identical at every value")
+	par := flag.Int("par", 1, "worker bound for every parallel phase (0 = GOMAXPROCS): CYPB inflate pipelining, -stream rank fan-out, skeleton preparation, and the -predict LogGP simulation; results are identical at every value")
 	limit := flag.Int("limit", 50, "max events to print per rank (0 = all)")
 	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
@@ -77,7 +79,7 @@ func main() {
 		fail(err)
 	}
 	defer f.Close()
-	m, err := cypress.ReadTrace(f)
+	m, err := cypress.ReadTracePar(f, *par)
 	if err != nil {
 		fail(err)
 	}

@@ -1,7 +1,8 @@
 // Command cypressstat inspects a merged CYPRESS trace: per-GID compression
 // ratios, rank-group fragmentation, and stride-compression health — the
 // paper's Table-3-style structural breakdown. It reads a trace file written
-// by cypresstrace (gzip or raw, sniffed automatically) or traces a program
+// by cypresstrace (raw, gzip, or CYPB block container, sniffed automatically)
+// or traces a program
 // in-process, in which case -stats can additionally report the live pipeline
 // counters (fingerprint fast-path hits, pool reuse, stage timings).
 //
@@ -19,11 +20,8 @@
 package main
 
 import (
-	"bufio"
-	"compress/gzip"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	cypress "repro"
@@ -43,6 +41,7 @@ func main() {
 	stats := flag.Bool("stats", false, "also print the pipeline observability report")
 	workload := flag.String("workload", "", "trace a built-in workload in-process instead of reading a file")
 	procs := flag.Int("procs", 8, "ranks for in-process tracing")
+	par := flag.Int("par", 0, "inflate workers for CYPB trace files (0 = default, <0 = inline)")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -76,7 +75,7 @@ func main() {
 		}
 		m = traceInProcess(string(data), *procs, sink)
 	case flag.NArg() == 1:
-		m = readTraceFile(flag.Arg(0), sink)
+		m = readTraceFile(flag.Arg(0), *par, sink)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: cypressstat [flags] trace.cyp | prog.mpl  (or -workload NAME)")
 		os.Exit(2)
@@ -126,26 +125,18 @@ func traceInProcess(src string, procs int, sink *obs.Sink) *merge.Merged {
 	return res.Merged
 }
 
-// readTraceFile decodes a trace file, transparently unwrapping gzip (sniffed
-// from the two-byte magic, so Cypress and Cypress+Gzip files both work).
-func readTraceFile(path string, sink *obs.Sink) *merge.Merged {
+// readTraceFile decodes a trace file. The container layer — gzip member,
+// CYPB block container, or bare CYPR stream — is sniffed by the decoder
+// itself (blockio.Sniff), so Cypress, Cypress+Gzip, and blocked files all
+// work; par configures the CYPB inflate pipeline.
+func readTraceFile(path string, par int, sink *obs.Sink) *merge.Merged {
 	cypress.EnableObs(sink) // decode-side counters
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
-	var in io.Reader = br
-	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			fail(err)
-		}
-		defer zr.Close()
-		in = zr
-	}
-	m, err := merge.Decode(in)
+	m, err := merge.DecodePar(f, par)
 	if err != nil {
 		fail(err)
 	}

@@ -6,6 +6,7 @@
 //
 //	cypresstrace -procs 64 -o run.cyp prog.mpl
 //	cypresstrace -workload LU -procs 128 -o lu.cyp -gzip
+//	cypresstrace -workload LU -procs 128 -o lu.cyp -block -par 4
 //	cypresstrace -workload MG -procs 64            # stats only
 package main
 
@@ -24,6 +25,8 @@ func main() {
 	procs := flag.Int("procs", 8, "number of simulated MPI ranks")
 	out := flag.String("o", "", "output trace file (stats only if empty)")
 	useGzip := flag.Bool("gzip", false, "gzip the trace file (Cypress+Gzip)")
+	useBlock := flag.Bool("block", false, "write the CYPB block container (sharded deflate frames + seekable index)")
+	par := flag.Int("par", 0, "compression workers for -block (0 = GOMAXPROCS-derived default)")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
 	hist := flag.Bool("hist", false, "record time histograms instead of mean/stddev")
 	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
@@ -103,7 +106,16 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	n, err := res.WriteTrace(w, *useGzip)
+	if *useBlock && *useGzip {
+		fmt.Fprintln(os.Stderr, "cypresstrace: -block and -gzip are mutually exclusive")
+		os.Exit(2)
+	}
+	var n int64
+	if *useBlock {
+		n, err = res.WriteTraceBlocked(w, *par)
+	} else {
+		n, err = res.WriteTrace(w, *useGzip)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cypresstrace:", err)
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/blockio"
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/encpool"
@@ -252,10 +253,29 @@ func (r *Result) WriteTrace(w io.Writer, gzip bool) (int64, error) {
 	return r.Merged.Encode(w)
 }
 
-// ReadTrace loads a merged compressed trace written by WriteTrace (without
-// gzip). Replay works directly on the result via merge.Merged.ForRank.
+// WriteTraceBlocked serializes the merged compressed trace inside the CYPB
+// block container: sharded deflate frames compressed by a pool of workers
+// (workers <= 0 picks a default from GOMAXPROCS) with a seekable frame index
+// in the footer. The emitted bytes are identical at every worker count.
+// ReadTrace and ReadTracePar load it transparently.
+func (r *Result) WriteTraceBlocked(w io.Writer, workers int) (int64, error) {
+	return r.Merged.EncodeBlocked(w, workers)
+}
+
+// ReadTrace loads a merged compressed trace written by WriteTrace or
+// WriteTraceBlocked — the container layer (gzip, CYPB, or none) is sniffed
+// from the leading magic. Replay works directly on the result via
+// merge.Merged.ForRank.
 func ReadTrace(rd io.Reader) (*merge.Merged, error) {
 	return merge.Decode(rd)
+}
+
+// ReadTracePar is ReadTrace with an explicit inflate worker count for CYPB
+// containers: workers < 0 inflates inline, 0 picks a default, >= 1 pipelines
+// that many inflate workers behind the parser. The worker count never changes
+// the decoded trace; other formats ignore it.
+func ReadTracePar(rd io.Reader, workers int) (*merge.Merged, error) {
+	return merge.DecodePar(rd, workers)
 }
 
 // CommMatrix accumulates the communication volume matrix (bytes sent from
@@ -349,6 +369,7 @@ func EnableObs(s *obs.Sink) {
 	replay.SetObs(s)
 	simmpi.SetObs(s)
 	encpool.SetObs(s)
+	blockio.SetObs(s)
 }
 
 // Workload returns a named NPB/LESlie3d communication skeleton from the

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/blockio"
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/encpool"
@@ -36,7 +37,7 @@ import (
 var obsSink *obs.Sink
 
 // EnableObs attaches s to every pipeline stage the bench harness exercises:
-// the package-level sinks (merge, replay, simmpi, encpool) and the
+// the package-level sinks (merge, replay, simmpi, encpool, blockio) and the
 // compressors the harness constructs afterwards. Pass nil to detach.
 func EnableObs(s *obs.Sink) {
 	obsSink = s
@@ -44,6 +45,7 @@ func EnableObs(s *obs.Sink) {
 	replay.SetObs(s)
 	simmpi.SetObs(s)
 	encpool.SetObs(s)
+	blockio.SetObs(s)
 }
 
 // sink-call opcodes for recorded streams.
@@ -450,6 +452,99 @@ func BenchDecode(b *testing.B) {
 	b.ReportMetric(float64(len(data)), "bytes/op")
 }
 
+// blockedBenchFrame is the frame target of the block-container benchmarks. A
+// merged trace is tiny by design, so the default 128KB frame would put the
+// whole payload in one frame and the worker sweep would measure nothing; 256
+// bytes cuts the 1024-rank SPMD trace into several frames so the encode pool
+// and the decode pipeline actually see per-frame work.
+const blockedBenchFrame = 256
+
+// spmd1024 builds the 1024-rank SPMD merged tree shared by the container
+// benchmarks.
+func spmd1024(b *testing.B) *merge.Merged {
+	b.Helper()
+	ctts, err := spmdCTTs(1024, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := merge.All(ctts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchEncodeGzip1024 measures the paper's Cypress+Gzip serialization of the
+// 1024-rank SPMD trace — the single-stream baseline the block container
+// competes with.
+func BenchEncodeGzip1024(b *testing.B) {
+	m := spmd1024(b)
+	var n int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if n, err = m.EncodeGzip(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "bytes/op")
+}
+
+// benchEncodeBlocked measures CYPB container encode of the 1024-rank SPMD
+// trace at a fixed frame size and the given worker count; the emitted bytes
+// are identical at every worker count, so the sweep isolates the pool's
+// coordination cost (and, on multi-core hosts, its speedup).
+func benchEncodeBlocked(b *testing.B, workers int) {
+	m := spmd1024(b)
+	var n int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if n, err = m.EncodeBlockedFrames(io.Discard, workers, blockedBenchFrame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "bytes/op")
+}
+
+// BenchEncodeBlocked1024W1 encodes with one inline worker (no goroutines).
+func BenchEncodeBlocked1024W1(b *testing.B) { benchEncodeBlocked(b, 1) }
+
+// BenchEncodeBlocked1024W2 encodes with a two-worker pool.
+func BenchEncodeBlocked1024W2(b *testing.B) { benchEncodeBlocked(b, 2) }
+
+// BenchEncodeBlocked1024W4 encodes with a four-worker pool.
+func BenchEncodeBlocked1024W4(b *testing.B) { benchEncodeBlocked(b, 4) }
+
+// benchDecodeBlocked measures sniffing decode of the CYPB-wrapped 1024-rank
+// SPMD trace with the given inflate worker count.
+func benchDecodeBlocked(b *testing.B, workers int) {
+	m := spmd1024(b)
+	var buf bytes.Buffer
+	if _, err := m.EncodeBlockedFrames(&buf, 1, blockedBenchFrame); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	rd := bytes.NewReader(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(data)
+		if _, err := merge.DecodePar(rd, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bytes/op")
+}
+
+// BenchDecodeBlocked1024W1 decodes with a one-worker inflate pipeline.
+func BenchDecodeBlocked1024W1(b *testing.B) { benchDecodeBlocked(b, 1) }
+
+// BenchDecodeBlocked1024W2 decodes with a two-worker inflate pipeline.
+func BenchDecodeBlocked1024W2(b *testing.B) { benchDecodeBlocked(b, 2) }
+
 // Micro is one registered microbenchmark.
 type Micro struct {
 	Name  string
@@ -468,6 +563,12 @@ func Micros() []Micro {
 		{"MergeAll1024", BenchMergeAll1024},
 		{"MergeAll4096", BenchMergeAll4096},
 		{"Decode", BenchDecode},
+		{"EncodeGzip1024", BenchEncodeGzip1024},
+		{"EncodeBlocked1024W1", BenchEncodeBlocked1024W1},
+		{"EncodeBlocked1024W2", BenchEncodeBlocked1024W2},
+		{"EncodeBlocked1024W4", BenchEncodeBlocked1024W4},
+		{"DecodeBlocked1024W1", BenchDecodeBlocked1024W1},
+		{"DecodeBlocked1024W2", BenchDecodeBlocked1024W2},
 		{"ReplayRank", BenchReplayRank},
 		{"ReplayRankWalk", BenchReplayRankWalk},
 		{"Predict256", BenchPredict256},

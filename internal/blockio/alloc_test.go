@@ -1,0 +1,82 @@
+package blockio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestFrameEncodeAllocs pins the steady-state allocation cost of the inline
+// frame path: once the accumulator, the inline job, and the pooled flate
+// writer are warm, pushing another frame through should stay within a tiny
+// budget (index append amortization and pool slack).
+func TestFrameEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; allocation counts are not meaningful")
+	}
+	payload := testPayload(4 << 10)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{FrameSize: 4 << 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the accumulator, inline job buffers, and index slice.
+	for i := 0; i < 8; i++ {
+		if _, err := w.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := w.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 4
+	if avg > budget {
+		t.Fatalf("steady-state frame encode allocs = %.1f, budget %d", avg, budget)
+	}
+}
+
+// TestFrameDecodeAllocs pins the steady-state allocation cost of pipelined
+// decode: with the frame recycling channel and pooled inflaters warm, each
+// additional container read should cost a bounded number of allocations per
+// frame.
+func TestFrameDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; allocation counts are not meaningful")
+	}
+	payload := testPayload(64 << 10)
+	enc := encode(t, payload, WriterOptions{FrameSize: 4 << 10, Workers: 1})
+	nFrames := 16.0
+	out := make([]byte, len(payload))
+	for _, workers := range []int{0, 2} {
+		avg := testing.AllocsPerRun(20, func() {
+			r, err := NewReader(bytes.NewReader(enc), ReaderOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.ReadFull(r, out); err != nil {
+				t.Fatal(err)
+			}
+			// Drain terminator + footer so the container fully validates.
+			if _, err := r.Read(out[:1]); err != io.EOF {
+				t.Fatalf("expected EOF, got %v", err)
+			}
+			r.Close()
+		})
+		perFrame := avg / nFrames
+		// Inline decode reuses one frame; pipelined decode pays goroutine and
+		// channel setup per reader plus fresh frames until recycling kicks in.
+		budget := 4.0
+		if workers > 0 {
+			budget = 16.0
+		}
+		if perFrame > budget {
+			t.Fatalf("workers=%d: decode allocs/frame = %.1f (%.0f total), budget %.0f",
+				workers, perFrame, avg, budget)
+		}
+	}
+}

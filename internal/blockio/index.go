@@ -1,0 +1,161 @@
+package blockio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// IndexEntry describes one frame for random access.
+type IndexEntry struct {
+	// Off is the container offset of the frame's header.
+	Off int64
+	// UOff is the payload (uncompressed) offset the frame starts at.
+	UOff int64
+	// USize and CSize are the uncompressed and compressed lengths.
+	USize uint32
+	CSize uint32
+	// CRC is the CRC-32 (IEEE) of the uncompressed frame bytes.
+	CRC uint32
+}
+
+// Index is a parsed footer: enough to locate, inflate, and verify any single
+// frame of a container without reading the others — the selective-decode
+// path of the format.
+type Index struct {
+	// FrameTarget is the writer's target uncompressed frame size.
+	FrameTarget int
+	// Frames lists the frames in payload order.
+	Frames []IndexEntry
+}
+
+// UncompressedSize returns the total payload length.
+func (ix *Index) UncompressedSize() int64 {
+	if n := len(ix.Frames); n > 0 {
+		last := ix.Frames[n-1]
+		return last.UOff + int64(last.USize)
+	}
+	return 0
+}
+
+// ReadIndex parses a container's footer from the end of ra (size is the
+// total container length) and sanity-checks the header at offset 0.
+func ReadIndex(ra io.ReaderAt, size int64) (*Index, error) {
+	// Header: magic + version + frame target.
+	var head [4 + 2*binary.MaxVarintLen64]byte
+	hn := len(head)
+	if int64(hn) > size {
+		hn = int(size)
+	}
+	if _, err := ra.ReadAt(head[:hn], 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("blockio: reading header: %w", err)
+	}
+	if hn < len(Magic) || [4]byte(head[:4]) != Magic {
+		return nil, fmt.Errorf("blockio: bad magic")
+	}
+	hr := bytes.NewReader(head[4:hn])
+	v, err := readUvarint(hr)
+	if err != nil || v != version {
+		return nil, fmt.Errorf("blockio: unsupported version")
+	}
+	ft, err := readUvarint(hr)
+	if err != nil || ft == 0 || ft > maxFrameSize {
+		return nil, fmt.Errorf("blockio: implausible frame target")
+	}
+
+	// Trailer: fixed-width footer length + magic.
+	if size < trailerLen {
+		return nil, fmt.Errorf("blockio: container too short for trailer")
+	}
+	var trailer [trailerLen]byte
+	if _, err := ra.ReadAt(trailer[:], size-trailerLen); err != nil {
+		return nil, fmt.Errorf("blockio: reading trailer: %w", err)
+	}
+	if [4]byte(trailer[8:12]) != trailerMagic {
+		return nil, fmt.Errorf("blockio: bad trailing magic %q", trailer[8:12])
+	}
+	footerLen := binary.LittleEndian.Uint64(trailer[:8])
+	if footerLen > uint64(size-trailerLen) || footerLen > (4*binary.MaxVarintLen64+1)*maxFrames {
+		return nil, fmt.Errorf("blockio: implausible footer length %d", footerLen)
+	}
+
+	footer := make([]byte, footerLen)
+	if _, err := ra.ReadAt(footer, size-trailerLen-int64(footerLen)); err != nil {
+		return nil, fmt.Errorf("blockio: reading footer: %w", err)
+	}
+	fr := bytes.NewReader(footer)
+	count, err := readUvarint(fr)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: footer frame count: %w", err)
+	}
+	if count > maxFrames {
+		return nil, fmt.Errorf("blockio: implausible footer frame count %d", count)
+	}
+	ix := &Index{FrameTarget: int(ft)}
+	var uoff int64
+	for i := uint64(0); i < count; i++ {
+		var e IndexEntry
+		vals := [4]uint64{}
+		for k := range vals {
+			v, err := readUvarint(fr)
+			if err != nil {
+				return nil, fmt.Errorf("blockio: footer frame %d: %w", i, err)
+			}
+			vals[k] = v
+		}
+		if vals[0] > uint64(size) || vals[1] > maxFrameSize || vals[2] > maxFrameSize || vals[3] > 0xffffffff {
+			return nil, fmt.Errorf("blockio: footer frame %d out of range", i)
+		}
+		e.Off = int64(vals[0])
+		e.USize = uint32(vals[1])
+		e.CSize = uint32(vals[2])
+		e.CRC = uint32(vals[3])
+		e.UOff = uoff
+		uoff += int64(e.USize)
+		ix.Frames = append(ix.Frames, e)
+	}
+	if fr.Len() != 0 {
+		return nil, fmt.Errorf("blockio: %d trailing footer bytes", fr.Len())
+	}
+	return ix, nil
+}
+
+// ReadFrame inflates and verifies frame i from ra into dst (reused when
+// large enough) and returns the payload bytes. The frame's on-disk header
+// must agree with the index entry; any mismatch, checksum failure, or length
+// disagreement is an error.
+func (ix *Index) ReadFrame(ra io.ReaderAt, i int, dst []byte) ([]byte, error) {
+	if i < 0 || i >= len(ix.Frames) {
+		return nil, fmt.Errorf("blockio: frame %d out of range [0,%d)", i, len(ix.Frames))
+	}
+	e := ix.Frames[i]
+	maxHdr := int64(3 * binary.MaxVarintLen64)
+	sr := io.NewSectionReader(ra, e.Off, maxHdr+int64(e.CSize))
+	br := byteReader{r: sr}
+	u, err := readUvarint(&br)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: frame %d header: %w", i, err)
+	}
+	csize, err := readUvarint(&br)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: frame %d header: %w", i, err)
+	}
+	crc, err := readUvarint(&br)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: frame %d header: %w", i, err)
+	}
+	if u != uint64(e.USize)+1 || csize != uint64(e.CSize) || crc != uint64(e.CRC) {
+		return nil, fmt.Errorf("blockio: frame %d header disagrees with index", i)
+	}
+	comp, err := readEarned(sr, nil, int(e.CSize))
+	if err != nil {
+		return nil, fmt.Errorf("blockio: frame %d body: %w", i, err)
+	}
+	f := decFrame{comp: comp, out: dst, usize: int(e.USize), crc: e.CRC}
+	inflateInto(&f)
+	if f.err != nil {
+		return nil, fmt.Errorf("blockio: frame %d: %w", i, f.err)
+	}
+	return f.out, nil
+}

@@ -1,0 +1,13 @@
+package blockio
+
+import "repro/internal/obs"
+
+// sink is the package's attached metrics sink; nil (the default) disables
+// observation. Wired once at startup (cypress.EnableObs) and only read
+// afterwards, like the other package-level pipeline sinks.
+var sink *obs.Sink
+
+// SetObs attaches a metrics sink recording frame counts, per-frame byte and
+// timing histograms, and (via encpool) flate pool traffic. A nil sink
+// disables observation. Not safe to call concurrently with container use.
+func SetObs(s *obs.Sink) { sink = s }

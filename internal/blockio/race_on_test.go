@@ -1,0 +1,5 @@
+//go:build race
+
+package blockio
+
+const raceEnabled = true

@@ -1,0 +1,400 @@
+package blockio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/encpool"
+	"repro/internal/obs"
+)
+
+// ReaderOptions configures a container reader.
+type ReaderOptions struct {
+	// Workers bounds the concurrent inflate workers. Values <= 0 inflate
+	// inline on the Read caller with no goroutines; values >= 1 run a fetch
+	// goroutine plus that many inflate workers, so frame N+1 decompresses
+	// while the consumer parses frame N. The decoded bytes are identical
+	// either way.
+	Workers int
+}
+
+// decFrame is one frame moving through the decode pipeline. Frames are
+// recycled reader-locally, so steady-state decode does not allocate per
+// frame.
+type decFrame struct {
+	comp  []byte
+	out   []byte
+	usize int
+	crc   uint32
+	err   error
+	ready chan struct{} // 1-buffered completion signal, reused across frames
+	brd   bytes.Reader
+}
+
+// Reader streams the payload back out of a CYPB container, verifying each
+// frame's checksum and, at the terminator, the footer index against the
+// frames actually consumed. Close stops the pipeline; it is required for
+// Workers >= 1 if the payload is abandoned before EOF.
+type Reader struct {
+	br    *bufio.Reader
+	ownBR bool
+
+	frameTarget int
+	off         int64 // container offset consumed by the fetch side
+	idx         []frameMeta
+
+	cur    *decFrame
+	curPos int
+	err    error
+	fin    bool
+
+	// Pipelined state (Workers >= 1).
+	workers  int
+	work     chan *decFrame
+	ordered  chan *decFrame
+	freeF    chan *decFrame
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+	fetchErr error // published before ordered closes
+
+	inline decFrame // Workers <= 0 reuses one frame inline
+	nDec   int64
+}
+
+// NewReader parses the container header from r and returns the payload
+// reader. If r is already a *bufio.Reader it is used directly (the caller
+// keeps ownership); otherwise a pooled buffered reader wraps it and is
+// returned to the pool on Close.
+func NewReader(r io.Reader, opt ReaderOptions) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	own := false
+	if !ok {
+		br = encpool.GetBufioReader(r)
+		own = true
+	}
+	d := &Reader{br: br, ownBR: own, workers: opt.Workers}
+	if err := d.readHeader(); err != nil {
+		if own {
+			encpool.PutBufioReader(br)
+		}
+		return nil, err
+	}
+	if d.workers >= 1 {
+		d.work = make(chan *decFrame, d.workers)
+		d.ordered = make(chan *decFrame, d.workers+2)
+		d.freeF = make(chan *decFrame, d.workers+2)
+		d.quit = make(chan struct{})
+		d.wg.Add(1 + d.workers)
+		go d.fetcher()
+		for i := 0; i < d.workers; i++ {
+			go d.inflateWorker()
+		}
+	}
+	return d, nil
+}
+
+func (d *Reader) readHeader() error {
+	var magic [4]byte
+	if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+		return fmt.Errorf("blockio: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return fmt.Errorf("blockio: bad magic %q", magic)
+	}
+	d.off = int64(len(Magic))
+	v, err := readUvarint(d.br)
+	if err != nil {
+		return fmt.Errorf("blockio: reading version: %w", err)
+	}
+	if v != version {
+		return fmt.Errorf("blockio: unsupported version %d", v)
+	}
+	d.off += uvarintLen(v)
+	ft, err := readUvarint(d.br)
+	if err != nil {
+		return fmt.Errorf("blockio: reading frame target: %w", err)
+	}
+	if ft == 0 || ft > maxFrameSize {
+		return fmt.Errorf("blockio: implausible frame target %d", ft)
+	}
+	d.off += uvarintLen(ft)
+	d.frameTarget = int(ft)
+	return nil
+}
+
+// FrameTarget returns the frame size recorded in the container header.
+func (d *Reader) FrameTarget() int { return d.frameTarget }
+
+// fetchFrame reads the next frame header and compressed body into f, or
+// reports done=true after validating the footer. It runs on the fetch
+// goroutine (pipelined) or the Read caller (inline).
+func (d *Reader) fetchFrame(f *decFrame) (done bool, err error) {
+	u, err := readUvarint(d.br)
+	if err != nil {
+		return false, fmt.Errorf("blockio: frame %d header: %w", len(d.idx), err)
+	}
+	if u == 0 {
+		return true, d.checkFooter()
+	}
+	hdrOff := d.off
+	usize := u - 1
+	if usize > maxFrameSize {
+		return false, frameHeaderError(len(d.idx), "frame size", usize)
+	}
+	csize, err := readUvarint(d.br)
+	if err != nil {
+		return false, fmt.Errorf("blockio: frame %d header: %w", len(d.idx), err)
+	}
+	if csize > maxFrameSize {
+		return false, frameHeaderError(len(d.idx), "compressed size", csize)
+	}
+	crc, err := readUvarint(d.br)
+	if err != nil {
+		return false, fmt.Errorf("blockio: frame %d header: %w", len(d.idx), err)
+	}
+	if crc > 0xffffffff {
+		return false, frameHeaderError(len(d.idx), "checksum", crc)
+	}
+	if len(d.idx) >= maxFrames {
+		return false, fmt.Errorf("blockio: more than %d frames", maxFrames)
+	}
+	f.usize = int(usize)
+	f.crc = uint32(crc)
+	f.err = nil
+	f.comp, err = readEarned(d.br, f.comp, int(csize))
+	if err != nil {
+		return false, fmt.Errorf("blockio: frame %d body: %w", len(d.idx), err)
+	}
+	d.off = hdrOff + uvarintLen(u) + uvarintLen(csize) + uvarintLen(crc) + int64(csize)
+	d.idx = append(d.idx, frameMeta{off: hdrOff, usize: uint32(usize), csize: uint32(csize), crc: uint32(crc)})
+	return false, nil
+}
+
+// inflateInto decompresses f.comp into f.out and verifies length and
+// checksum.
+func inflateInto(f *decFrame) {
+	var t0 time.Time
+	if sink.Enabled() {
+		t0 = time.Now()
+	}
+	f.brd.Reset(f.comp)
+	fr := encpool.GetFlateReader(&f.brd)
+	out, err := readEarned(fr, f.out, f.usize)
+	f.out = out
+	if err == nil {
+		// The deflate stream must produce exactly usize bytes.
+		var one [1]byte
+		if k, _ := fr.Read(one[:]); k != 0 {
+			err = fmt.Errorf("blockio: frame longer than declared %d bytes", f.usize)
+		}
+	}
+	encpool.PutFlateReader(fr)
+	switch {
+	case err != nil:
+		f.err = fmt.Errorf("blockio: inflating frame: %w", err)
+	case crc32.ChecksumIEEE(f.out) != f.crc:
+		f.err = fmt.Errorf("blockio: frame checksum mismatch")
+	}
+	if sink.Enabled() {
+		sink.Inc(obs.IOFramesDec)
+		sink.ObserveSince(obs.HistIOInflateNS, t0)
+	}
+}
+
+// checkFooter reads the footer index and cross-checks it against the frames
+// the reader actually consumed; any disagreement is an error even though the
+// payload itself decoded.
+func (d *Reader) checkFooter() error {
+	var n int64 // footer bytes consumed
+	rd := func(what string) (uint64, error) {
+		v, err := readUvarint(d.br)
+		if err != nil {
+			return 0, fmt.Errorf("blockio: footer %s: %w", what, err)
+		}
+		n += uvarintLen(v)
+		return v, nil
+	}
+	count, err := rd("frame count")
+	if err != nil {
+		return err
+	}
+	if count != uint64(len(d.idx)) {
+		return fmt.Errorf("blockio: footer frame count %d, consumed %d frames", count, len(d.idx))
+	}
+	for i := range d.idx {
+		m := d.idx[i]
+		for _, fld := range []struct {
+			name string
+			want uint64
+		}{
+			{"offset", uint64(m.off)},
+			{"usize", uint64(m.usize)},
+			{"csize", uint64(m.csize)},
+			{"crc", uint64(m.crc)},
+		} {
+			got, err := rd(fld.name)
+			if err != nil {
+				return err
+			}
+			if got != fld.want {
+				return fmt.Errorf("blockio: footer frame %d %s %d, consumed %d", i, fld.name, got, fld.want)
+			}
+		}
+	}
+	var trailer [trailerLen]byte
+	if _, err := io.ReadFull(d.br, trailer[:]); err != nil {
+		return fmt.Errorf("blockio: reading trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(trailer[:8]); got != uint64(n) {
+		return fmt.Errorf("blockio: footer length %d, consumed %d", got, n)
+	}
+	if [4]byte(trailer[8:12]) != trailerMagic {
+		return fmt.Errorf("blockio: bad trailing magic %q", trailer[8:12])
+	}
+	return nil
+}
+
+// fetcher streams frame headers and compressed bodies off the underlying
+// reader, fanning inflate work out to the pool while preserving payload
+// order through the ordered queue.
+func (d *Reader) fetcher() {
+	defer d.wg.Done()
+	for {
+		f := d.getFrame()
+		done, err := d.fetchFrame(f)
+		if done || err != nil {
+			d.fetchErr = err
+			close(d.work)
+			close(d.ordered)
+			return
+		}
+		select {
+		case d.work <- f:
+		case <-d.quit:
+			close(d.work)
+			return
+		}
+		select {
+		case d.ordered <- f:
+		case <-d.quit:
+			close(d.work)
+			return
+		}
+	}
+}
+
+func (d *Reader) inflateWorker() {
+	defer d.wg.Done()
+	for f := range d.work {
+		inflateInto(f)
+		f.ready <- struct{}{}
+	}
+}
+
+func (d *Reader) getFrame() *decFrame {
+	select {
+	case f := <-d.freeF:
+		return f
+	default:
+		return &decFrame{ready: make(chan struct{}, 1)}
+	}
+}
+
+// next advances to the next decoded frame; it returns io.EOF after the
+// terminator and a validated footer.
+func (d *Reader) next() error {
+	if d.fin {
+		return io.EOF
+	}
+	if d.workers >= 1 {
+		f, ok := <-d.ordered
+		if !ok {
+			d.fin = true
+			if d.fetchErr != nil {
+				return d.fetchErr
+			}
+			return io.EOF
+		}
+		<-f.ready
+		if f.err != nil {
+			return f.err
+		}
+		d.cur, d.curPos = f, 0
+		return nil
+	}
+	f := &d.inline
+	done, err := d.fetchFrame(f)
+	if err != nil {
+		return err
+	}
+	if done {
+		d.fin = true
+		return io.EOF
+	}
+	inflateInto(f)
+	if f.err != nil {
+		return f.err
+	}
+	d.cur, d.curPos = f, 0
+	return nil
+}
+
+// Read implements io.Reader over the concatenated frame payloads.
+func (d *Reader) Read(p []byte) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	n := 0
+	for n < len(p) {
+		if d.cur == nil || d.curPos >= len(d.cur.out) {
+			if d.cur != nil && d.workers >= 1 {
+				// Recycle the consumed frame if the pipeline wants it.
+				select {
+				case d.freeF <- d.cur:
+				default:
+				}
+			}
+			d.cur = nil
+			if err := d.next(); err != nil {
+				if err != io.EOF {
+					d.err = err
+				}
+				if n > 0 && err == io.EOF {
+					return n, nil
+				}
+				return n, err
+			}
+			continue
+		}
+		k := copy(p[n:], d.cur.out[d.curPos:])
+		d.curPos += k
+		n += k
+	}
+	return n, nil
+}
+
+// Close shuts the decode pipeline down and releases pooled resources. It is
+// safe to call after EOF or mid-stream; it does not close the underlying
+// reader.
+func (d *Reader) Close() error {
+	if d.quit != nil {
+		// The fetcher's queue sends all select on quit, and worker completion
+		// signals are buffered, so closing quit is enough to let every
+		// pipeline goroutine run to exit without the consumer draining.
+		d.quitOnce.Do(func() { close(d.quit) })
+		d.wg.Wait()
+	}
+	if d.ownBR {
+		encpool.PutBufioReader(d.br)
+		d.ownBR = false
+		d.br = nil
+	}
+	return nil
+}

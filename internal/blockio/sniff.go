@@ -1,0 +1,133 @@
+package blockio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"repro/internal/encpool"
+)
+
+// Format identifies a trace container layer, sniffed from its leading magic.
+type Format uint8
+
+const (
+	// FormatRaw is a bare payload (for trace files, the CYPR stream).
+	FormatRaw Format = iota
+	// FormatGzip is the payload inside a gzip member (Cypress+Gzip).
+	FormatGzip
+	// FormatBlocked is the payload inside a CYPB block container.
+	FormatBlocked
+)
+
+// String returns the format's stable name.
+func (f Format) String() string {
+	switch f {
+	case FormatRaw:
+		return "raw"
+	case FormatGzip:
+		return "gzip"
+	case FormatBlocked:
+		return "blocked"
+	}
+	return "unknown"
+}
+
+// Sniffed is a trace stream with its container layer unwrapped: R reads the
+// bare payload whatever the outer format was. It replaces the per-command
+// hand-rolled gzip magic peeks with one shared helper that also recognizes
+// the CYPB container.
+type Sniffed struct {
+	// R reads the unwrapped payload.
+	R io.Reader
+	// Format records which container layer (if any) was removed.
+	Format Format
+
+	br    *bufio.Reader
+	ownBR bool
+	gz    *gzip.Reader
+	blk   *Reader
+}
+
+// Sniff peeks br's leading bytes and unwraps the container layer it finds:
+// gzip (0x1f 0x8b), CYPB, or nothing (raw). br must be positioned at the
+// start of the stream; the caller keeps ownership of it. workers configures
+// the decode pipeline when the stream turns out to be a CYPB container (see
+// ReaderOptions.Workers); it is ignored for the other formats.
+func Sniff(br *bufio.Reader, workers int) (Sniffed, error) {
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Too short to hold any container magic: hand it to the payload
+		// parser raw, whose own magic check produces the canonical error.
+		return Sniffed{R: br, Format: FormatRaw}, nil
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return Sniffed{}, fmt.Errorf("blockio: gzip layer: %w", err)
+		}
+		return Sniffed{R: gz, Format: FormatGzip, gz: gz}, nil
+	}
+	if m4, err := br.Peek(4); err == nil && [4]byte(m4) == Magic {
+		blk, err := NewReader(br, ReaderOptions{Workers: workers})
+		if err != nil {
+			return Sniffed{}, err
+		}
+		return Sniffed{R: blk, Format: FormatBlocked, blk: blk}, nil
+	}
+	return Sniffed{R: br, Format: FormatRaw}, nil
+}
+
+// SniffReader is Sniff over an arbitrary reader: it wraps r in a pooled
+// buffered reader first (released by Close). Use Sniff directly when the
+// caller already buffers.
+func SniffReader(r io.Reader, workers int) (Sniffed, error) {
+	br := encpool.GetBufioReader(r)
+	sn, err := Sniff(br, workers)
+	if err != nil {
+		encpool.PutBufioReader(br)
+		return Sniffed{}, err
+	}
+	sn.br = br
+	sn.ownBR = true
+	return sn, nil
+}
+
+// Finish verifies whatever container trailer the payload parser's early stop
+// may have left unread. For a CYPB stream it drains the remaining frames
+// through checksum verification and validates the footer index — so a
+// mangled footer fails the read even when the parser consumed everything it
+// needed. For gzip and raw streams it is a no-op, preserving their
+// historical trailing-garbage tolerance.
+func (s *Sniffed) Finish() error {
+	if s.blk == nil {
+		return nil
+	}
+	if _, err := io.Copy(io.Discard, s.blk); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close releases the container layer (and the pooled buffered reader when
+// SniffReader created one). It does not close the underlying stream.
+func (s *Sniffed) Close() error {
+	var err error
+	if s.gz != nil {
+		err = s.gz.Close()
+		s.gz = nil
+	}
+	if s.blk != nil {
+		if cerr := s.blk.Close(); err == nil {
+			err = cerr
+		}
+		s.blk = nil
+	}
+	if s.ownBR {
+		encpool.PutBufioReader(s.br)
+		s.ownBR = false
+		s.br = nil
+	}
+	return err
+}

@@ -1,14 +1,17 @@
-// Package encpool provides shared sync.Pools for the encode-side allocation
-// hot spots: gzip writers (whose Reset makes them fully reusable but whose
-// construction allocates ~1.4MB of deflate state), bufio writers, and byte
-// buffers. Measure's per-rank artifact finishing constructs one gzip stream
-// per rank per method; pooling turns that from P allocator round-trips per
-// cell into a handful of long-lived objects shared across the run.
+// Package encpool provides shared sync.Pools for the codec-side allocation
+// hot spots: gzip and raw-deflate writers (whose Reset makes them fully
+// reusable but whose construction allocates ~1.4MB of deflate state), flate
+// readers, bufio writers/readers, and byte buffers. Measure's per-rank
+// artifact finishing constructs one gzip stream per rank per method, and the
+// blocked container compresses one deflate frame per ~frame-size bytes;
+// pooling turns both from allocator round-trips per use into a handful of
+// long-lived objects shared across the run.
 package encpool
 
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"compress/gzip"
 	"io"
 	"sync"
@@ -44,6 +47,80 @@ func GetGzip(w io.Writer) *gzip.Writer {
 func PutGzip(gz *gzip.Writer) {
 	if gz != nil {
 		gzipPool.Put(gz)
+	}
+}
+
+// FlateLevel is the deflate level every pooled flate.Writer is constructed
+// with. It matches gzip.NewWriter's default so the blocked container trades
+// like-for-like against Cypress+Gzip, and it is part of the CYPB determinism
+// contract: frames are byte-identical across worker counts only because every
+// worker compresses at the same fixed level.
+const FlateLevel = flate.DefaultCompression
+
+var flatePool = sync.Pool{
+	New: func() any {
+		sink.Inc(obs.PoolFlateNews)
+		fw, err := flate.NewWriter(io.Discard, FlateLevel)
+		if err != nil {
+			// Unreachable: FlateLevel is a compile-time valid constant.
+			panic(err)
+		}
+		return fw
+	},
+}
+
+// GetFlate returns a pooled raw-deflate writer reset to stream into w. Like
+// the gzip pool, this amortizes the ~1.4MB of deflate state per writer across
+// every frame the blocked encoder compresses.
+func GetFlate(w io.Writer) *flate.Writer {
+	sink.Inc(obs.PoolFlateGets)
+	fw := flatePool.Get().(*flate.Writer)
+	fw.Reset(w)
+	return fw
+}
+
+// PutFlate returns a flate writer to the pool. The caller must have Closed
+// (or otherwise finished with) it; the next GetFlate resets all state.
+func PutFlate(fw *flate.Writer) {
+	if fw != nil {
+		flatePool.Put(fw)
+	}
+}
+
+// emptySrc parks pooled flate readers between uses. It is never read from:
+// every GetFlateReader resets the reader onto a live source first.
+var emptySrc = bytes.NewReader(nil)
+
+var inflatePool = sync.Pool{
+	New: func() any {
+		sink.Inc(obs.PoolInflateNews)
+		return flate.NewReader(emptySrc)
+	},
+}
+
+// GetFlateReader returns a pooled raw-deflate reader reset to r with no
+// preset dictionary. The stdlib guarantees the value implements
+// flate.Resetter, which is what makes the pool possible.
+func GetFlateReader(r io.Reader) io.ReadCloser {
+	sink.Inc(obs.PoolInflateGets)
+	fr := inflatePool.Get().(io.ReadCloser)
+	if err := fr.(flate.Resetter).Reset(r, nil); err != nil {
+		// Reset with a nil dictionary cannot fail; keep the reader usable
+		// anyway by falling back to a fresh one.
+		fr = flate.NewReader(r)
+	}
+	return fr
+}
+
+// PutFlateReader returns a flate reader to the pool, dropping its source so
+// the pool does not pin the underlying stream.
+func PutFlateReader(fr io.ReadCloser) {
+	if fr == nil {
+		return
+	}
+	if res, ok := fr.(flate.Resetter); ok {
+		_ = res.Reset(emptySrc, nil)
+		inflatePool.Put(fr)
 	}
 }
 

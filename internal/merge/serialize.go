@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/blockio"
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/encpool"
@@ -378,14 +379,54 @@ func (d *decoder) ints(n int) []int32 {
 	return out
 }
 
-// Decode reads a merged tree written by Encode. The buffered reader is
-// pooled and the result is slab-backed (see decoder), so decoding allocates
-// a few chunks per tree rather than a few objects per entry.
+// Decode reads a merged tree written by Encode, EncodeGzip, or EncodeBlocked
+// — the container layer (gzip member, CYPB block container, or none) is
+// sniffed from the leading magic. The buffered reader is pooled and the
+// result is slab-backed (see decoder), so decoding allocates a few chunks per
+// tree rather than a few objects per entry.
 func Decode(in io.Reader) (*Merged, error) {
+	return DecodePar(in, 0)
+}
+
+// DecodePar is Decode with an explicit inflate worker count for CYPB inputs:
+// workers < 0 inflates inline on the caller, 0 picks a default from
+// GOMAXPROCS, and >= 1 pipelines that many workers so frame N+1 decompresses
+// while the parser consumes frame N (see blockio.ReaderOptions). The worker
+// count never changes the decoded tree; raw and gzip inputs ignore it.
+func DecodePar(in io.Reader, workers int) (*Merged, error) {
 	sp := sink.Start(obs.StageDecode)
 	defer sp.End()
+	if workers == 0 {
+		workers = defaultIOWorkers()
+	}
 	br := encpool.GetBufioReader(in)
 	defer encpool.PutBufioReader(br)
+	sn, err := blockio.Sniff(br, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer sn.Close()
+	pbr := br
+	if sn.Format != blockio.FormatRaw {
+		// The unwrapped payload needs its own varint buffering.
+		pbr = encpool.GetBufioReader(sn.R)
+		defer encpool.PutBufioReader(pbr)
+	}
+	m, err := decodeStream(pbr)
+	if err != nil {
+		return nil, err
+	}
+	// A CYPB container's footer index must validate even when the payload
+	// parser stopped at its own logical end; raw and gzip streams keep their
+	// historical trailing-garbage tolerance.
+	if err := sn.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeStream parses the bare CYPR payload from br.
+func decodeStream(br *bufio.Reader) (*Merged, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("merge: reading magic: %w", err)

@@ -75,6 +75,16 @@ const (
 	PoolReaderNews  // pool misses
 	PoolBufferGets  // staging-buffer checkouts
 	PoolBufferNews  // pool misses
+	PoolFlateGets   // flate-writer checkouts (blocked frame compression)
+	PoolFlateNews   // pool misses
+	PoolInflateGets // flate-reader checkouts (blocked frame decompression)
+	PoolInflateNews // pool misses
+
+	// Block-parallel container I/O (internal/blockio).
+	EncBlockedTraces // EncodeBlocked calls
+	EncBytesBlocked  // CYPB container output bytes
+	IOFramesEnc      // frames compressed into CYPB containers
+	IOFramesDec      // frames inflated out of CYPB containers
 
 	// Streaming replay and simulation (internal/merge.Streamer,
 	// internal/replay, internal/simmpi).
@@ -131,6 +141,14 @@ var counterNames = [NumCounters]string{
 	PoolReaderNews:       "pool_reader_news",
 	PoolBufferGets:       "pool_buffer_gets",
 	PoolBufferNews:       "pool_buffer_news",
+	PoolFlateGets:        "pool_flate_gets",
+	PoolFlateNews:        "pool_flate_news",
+	PoolInflateGets:      "pool_inflate_gets",
+	PoolInflateNews:      "pool_inflate_news",
+	EncBlockedTraces:     "enc_blocked_traces",
+	EncBytesBlocked:      "enc_bytes_blocked",
+	IOFramesEnc:          "io_frames_encoded",
+	IOFramesDec:          "io_frames_decoded",
 	ReplayRankMemoHits:   "replay_rank_memo_hits",
 	ReplayClassReuses:    "replay_class_reuses",
 	ReplaySkeletonBuilds: "replay_skeleton_builds",
@@ -159,6 +177,9 @@ const (
 	HistSimQueueDepth               // in-flight message queue depth at each send
 	HistSimWindowEvents             // events processed per lookahead window
 	HistSimWindowNS                 // wall time per lookahead window
+	HistIOFrameBytes                // compressed bytes per CYPB frame
+	HistIOCompressNS                // wall time deflating one frame
+	HistIOInflateNS                 // wall time inflating one frame
 	// Per-depth merge pair wall times: L1 merges two leaves, L2 merges two
 	// 2-rank trees, and so on; L8 absorbs every deeper level.
 	HistMergePairL1
@@ -179,6 +200,9 @@ var histNames = [NumHists]string{
 	HistSimQueueDepth:   "sim_queue_depth",
 	HistSimWindowEvents: "sim_window_events",
 	HistSimWindowNS:     "sim_window_ns",
+	HistIOFrameBytes:    "io_frame_bytes",
+	HistIOCompressNS:    "io_compress_ns",
+	HistIOInflateNS:     "io_inflate_ns",
 	HistMergePairL1:     "merge_pair_ns_l1",
 	HistMergePairL2:     "merge_pair_ns_l2",
 	HistMergePairL3:     "merge_pair_ns_l3",

@@ -85,10 +85,13 @@ func (s *Sink) Report() *Report {
 	addRate("replay_skeleton_hit_rate", skHits, skHits+vals[ReplaySkeletonBuilds])
 	addRate("stride_values_per_run", vals[StrideValues], vals[StrideRuns])
 	addRate("enc_gzip_ratio", vals[EncBytesGzip], vals[EncBytesRaw])
+	addRate("enc_blocked_ratio", vals[EncBytesBlocked], vals[EncBytesRaw])
 	addRate("pool_gzip_hit_rate", vals[PoolGzipGets]-vals[PoolGzipNews], vals[PoolGzipGets])
 	addRate("pool_bufio_hit_rate", vals[PoolBufioGets]-vals[PoolBufioNews], vals[PoolBufioGets])
 	addRate("pool_reader_hit_rate", vals[PoolReaderGets]-vals[PoolReaderNews], vals[PoolReaderGets])
 	addRate("pool_buffer_hit_rate", vals[PoolBufferGets]-vals[PoolBufferNews], vals[PoolBufferGets])
+	addRate("pool_flate_hit_rate", vals[PoolFlateGets]-vals[PoolFlateNews], vals[PoolFlateGets])
+	addRate("pool_inflate_hit_rate", vals[PoolInflateGets]-vals[PoolInflateNews], vals[PoolInflateGets])
 
 	for st := Stage(0); st < NumStages; st++ {
 		n := s.stages[st].count.Load()

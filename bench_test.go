@@ -93,6 +93,18 @@ func BenchmarkCommMatrixMaterialized1024(b *testing.B) {
 	bench.BenchCommMatrixMaterialized1024(b)
 }
 
+// Content-addressed corpus benchmarks (bodies in internal/bench/corpusbench.go):
+// cross-run dedup sizing, ingest throughput, and cold-versus-warm serving of
+// decoded traces. BenchmarkCorpusGetWarm1024 is the zero-alloc warm-path
+// guard (see TestWarmGetNoAllocs in internal/corpus).
+
+func BenchmarkCorpusIngest1024(b *testing.B)      { bench.BenchCorpusIngest1024(b) }
+func BenchmarkCorpusBytes1024(b *testing.B)       { bench.BenchCorpusBytes1024(b) }
+func BenchmarkCorpusGetCold1024(b *testing.B)     { bench.BenchCorpusGetCold1024(b) }
+func BenchmarkCorpusGetWarm1024(b *testing.B)     { bench.BenchCorpusGetWarm1024(b) }
+func BenchmarkCorpusPredictCold1024(b *testing.B) { bench.BenchCorpusPredictCold1024(b) }
+func BenchmarkCorpusPredictWarm1024(b *testing.B) { bench.BenchCorpusPredictWarm1024(b) }
+
 // BenchmarkPipelineCompile measures the static analysis module end to end
 // (parse, check, lower, CFG analyses, CST build) on the largest skeleton.
 func BenchmarkPipelineCompile(b *testing.B) {

@@ -1,0 +1,165 @@
+// Command cypressarchive manages a content-addressed corpus of merged
+// CYPRESS traces (internal/corpus): runs with identical communication
+// structure share one stored structure stream, and each additional run
+// costs only a compressed payload delta. Reconstruction is byte-identical
+// to the ingested standalone encoding.
+//
+// Usage:
+//
+//	cypressarchive -dir corpus add run1.cyp run2.cyp   # ingest trace files
+//	cypressarchive -dir corpus ls                      # list content hashes
+//	cypressarchive -dir corpus get HASH [-o out.cyp]   # reconstruct exact bytes
+//	cypressarchive -dir corpus stats                   # corpus totals as JSON
+//	cypressarchive -dir corpus rm HASH                 # tombstone a trace
+//	cypressarchive -dir corpus gc                      # compact, drop tombstones
+//
+// add accepts any container cypresstrace writes: bare CYPR streams are
+// ingested verbatim; gzip and CYPB block containers are decoded and
+// re-encoded canonically first (the corpus stores exact bytes, so the
+// canonical form is what get later reproduces). Hashes are printed and
+// parsed as 16 hex digits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	cypress "repro"
+	"repro/internal/merge"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cypressarchive:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cypressarchive -dir DIR {add FILE...|ls|get HASH [-o FILE]|stats|rm HASH|gc}")
+	os.Exit(2)
+}
+
+func main() {
+	dir := flag.String("dir", "", "corpus directory (created on first add)")
+	cacheBytes := flag.Int64("cache", 0, "decoded-trace cache budget in bytes (0 = default)")
+	workers := flag.Int("par", 0, "frame codec workers (0 = default)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		usage()
+	}
+
+	c, err := cypress.OpenCorpus(*dir, cypress.CorpusOptions{CacheBytes: *cacheBytes, Workers: *workers})
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			fail(err)
+		}
+	}()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "add":
+		if len(args) == 0 {
+			usage()
+		}
+		for _, path := range args {
+			id, err := addFile(c, path)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%016x  %s\n", id, path)
+		}
+	case "ls":
+		for _, id := range c.Hashes() {
+			fmt.Printf("%016x\n", id)
+		}
+	case "get":
+		fs := flag.NewFlagSet("get", flag.ExitOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		var hash string
+		if len(args) > 0 && args[0][0] != '-' {
+			hash, args = args[0], args[1:]
+		}
+		fs.Parse(args)
+		if hash == "" && fs.NArg() == 1 {
+			hash = fs.Arg(0)
+		}
+		if hash == "" {
+			usage()
+		}
+		enc, err := c.GetBytes(parseHash(hash))
+		if err != nil {
+			fail(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if _, err := w.Write(enc); err != nil {
+			fail(err)
+		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fail(err)
+		}
+	case "rm":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := c.Delete(parseHash(args[0])); err != nil {
+			fail(err)
+		}
+	case "gc":
+		if err := c.GC(); err != nil {
+			fail(err)
+		}
+	default:
+		usage()
+	}
+}
+
+// addFile ingests one trace file. A bare CYPR stream is stored verbatim;
+// gzip and CYPB containers are decoded and re-encoded into the canonical
+// standalone form first, since the corpus's byte-identity contract covers
+// exactly the bytes it was handed.
+func addFile(c *cypress.Corpus, path string) (cypress.TraceID, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if bytes.HasPrefix(data, []byte("CYPR")) {
+		return c.IngestBytes(data)
+	}
+	m, err := merge.Decode(bytes.NewReader(data))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		return 0, err
+	}
+	return c.IngestBytes(buf.Bytes())
+}
+
+func parseHash(s string) cypress.TraceID {
+	var h uint64
+	if _, err := fmt.Sscanf(s, "%x", &h); err != nil || len(s) != 16 {
+		fail(fmt.Errorf("bad hash %q: want 16 hex digits", s))
+	}
+	return h
+}

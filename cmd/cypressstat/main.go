@@ -20,11 +20,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	cypress "repro"
+	"repro/internal/corpus"
 	"repro/internal/inspect"
 	"repro/internal/merge"
 	"repro/internal/npb"
@@ -38,6 +40,7 @@ func fail(err error) {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON")
+	fp := flag.Bool("fp", false, "print the structural fingerprint and content hash, then exit")
 	stats := flag.Bool("stats", false, "also print the pipeline observability report")
 	workload := flag.String("workload", "", "trace a built-in workload in-process instead of reading a file")
 	procs := flag.Int("procs", 8, "ranks for in-process tracing")
@@ -56,6 +59,7 @@ func main() {
 	}
 
 	var m *merge.Merged
+	var rawCYPR []byte // exact file bytes when the input is a bare CYPR stream
 	switch {
 	case *workload != "":
 		w := npb.Get(*workload)
@@ -75,10 +79,31 @@ func main() {
 		}
 		m = traceInProcess(string(data), *procs, sink)
 	case flag.NArg() == 1:
-		m = readTraceFile(flag.Arg(0), *par, sink)
+		m, rawCYPR = readTraceFile(flag.Arg(0), *par, sink)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: cypressstat [flags] trace.cyp | prog.mpl  (or -workload NAME)")
 		os.Exit(2)
+	}
+
+	if *fp {
+		sfp, ch, err := fingerprints(m)
+		if err != nil {
+			fail(err)
+		}
+		// cypressarchive ingests bare CYPR files verbatim, so their corpus
+		// address is the hash of the on-disk bytes; the (normalizing)
+		// re-encoding only addresses containered inputs, which the archive
+		// canonicalizes on add.
+		if rawCYPR != nil {
+			ch = corpus.ContentHash(rawCYPR)
+		}
+		if *jsonOut {
+			fmt.Printf("{\"structural_fp\":%q,\"content_hash\":%q}\n",
+				fmt.Sprintf("%016x", sfp), fmt.Sprintf("%016x", ch))
+		} else {
+			fmt.Printf("structural_fp  %016x\ncontent_hash   %016x\n", sfp, ch)
+		}
+		return
 	}
 
 	a := inspect.Analyze(m)
@@ -100,6 +125,22 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// fingerprints returns the whole-tree structural fingerprint (the corpus
+// dedup class key, invariant across runs with identical communication
+// structure) and the content hash of the trace's canonical standalone
+// encoding (its corpus address, covering the timing payload too).
+func fingerprints(m *merge.Merged) (structural, content uint64, err error) {
+	structural, err = cypress.StructuralFingerprint(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		return 0, 0, err
+	}
+	return structural, corpus.ContentHash(buf.Bytes()), nil
 }
 
 // isMPL reports whether path looks like MPL source rather than a trace file.
@@ -128,17 +169,21 @@ func traceInProcess(src string, procs int, sink *obs.Sink) *merge.Merged {
 // readTraceFile decodes a trace file. The container layer — gzip member,
 // CYPB block container, or bare CYPR stream — is sniffed by the decoder
 // itself (blockio.Sniff), so Cypress, Cypress+Gzip, and blocked files all
-// work; par configures the CYPB inflate pipeline.
-func readTraceFile(path string, par int, sink *obs.Sink) *merge.Merged {
+// work; par configures the CYPB inflate pipeline. For bare CYPR files the
+// exact on-disk bytes are returned too (they are the corpus ingest unit);
+// containered inputs return nil raw bytes.
+func readTraceFile(path string, par int, sink *obs.Sink) (*merge.Merged, []byte) {
 	cypress.EnableObs(sink) // decode-side counters
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
-	m, err := merge.DecodePar(f, par)
+	m, err := merge.DecodePar(bytes.NewReader(data), par)
 	if err != nil {
 		fail(err)
 	}
-	return m
+	if bytes.HasPrefix(data, []byte("CYPR")) {
+		return m, data
+	}
+	return m, nil
 }

@@ -16,11 +16,13 @@
 package cypress
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
 
 	"repro/internal/blockio"
+	"repro/internal/corpus"
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/encpool"
@@ -118,13 +120,22 @@ type Result struct {
 
 	streamOnce sync.Once
 	stream     *merge.Streamer
+	// streamFn, when set, supplies the streamer instead of building a fresh
+	// one — corpus-served results share the cached trace's memoized streamer.
+	streamFn func() *merge.Streamer
 }
 
 // Streamer returns the lazily-built streaming replayer over the merged tree.
 // It is shared by Replay, Predict, and CommMatrix, so selection classes and
 // replay skeletons are discovered once and reused across every consumer.
 func (r *Result) Streamer() *merge.Streamer {
-	r.streamOnce.Do(func() { r.stream = merge.NewStreamer(r.Merged) })
+	r.streamOnce.Do(func() {
+		if r.streamFn != nil {
+			r.stream = r.streamFn()
+			return
+		}
+		r.stream = merge.NewStreamer(r.Merged)
+	})
 	return r.stream
 }
 
@@ -370,6 +381,98 @@ func EnableObs(s *obs.Sink) {
 	simmpi.SetObs(s)
 	encpool.SetObs(s)
 	blockio.SetObs(s)
+	corpus.SetObs(s)
+}
+
+// TraceID is the content address of a trace in a corpus: a fingerprint of
+// its exact standalone v1 encoding.
+type TraceID = uint64
+
+// CorpusOptions configures an opened trace corpus.
+type CorpusOptions struct {
+	// CacheBytes bounds the decoded-trace serving cache (0 = 64 MiB,
+	// negative disables caching).
+	CacheBytes int64
+	// Workers bounds the CYPB frame codecs of class and segment containers.
+	Workers int
+}
+
+// Corpus is a content-addressed store of merged traces with structural
+// dedup across runs and a warm decoded-trace serving cache. See
+// internal/corpus for the storage format and the byte-identity argument.
+type Corpus struct {
+	store *corpus.Store
+}
+
+// OpenCorpus opens (creating if needed) a corpus directory.
+func OpenCorpus(dir string, opts CorpusOptions) (*Corpus, error) {
+	st, err := corpus.Open(dir, corpus.Options{CacheBytes: opts.CacheBytes, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{store: st}, nil
+}
+
+// Ingest adds a traced run's merged tree to the corpus and returns its
+// content address. Runs that share their communication structure with an
+// earlier ingest store only a payload delta.
+func (c *Corpus) Ingest(r *Result) (TraceID, error) { return c.store.Ingest(r.Merged) }
+
+// IngestBytes adds a trace given its standalone v1 encoding (as written by
+// WriteTrace without gzip). Get reproduces these bytes exactly.
+func (c *Corpus) IngestBytes(enc []byte) (TraceID, error) { return c.store.IngestBytes(enc) }
+
+// GetBytes reconstructs the standalone v1 encoding of a stored trace,
+// byte-identical to what was ingested.
+func (c *Corpus) GetBytes(id TraceID) ([]byte, error) { return c.store.GetBytes(id) }
+
+// Get returns the decoded trace as a Result ready for Replay, Predict, and
+// CommMatrix, plus a release handle pinning it in the serving cache. Warm
+// gets skip decode entirely and share one memoized streamer, so repeated
+// analyses of a hot trace pay no decompression. The Result's prediction
+// parameters are mpisim.DefaultParams(); callers needing others should
+// simulate through the lower-level APIs. Call release exactly once when
+// done with the Result.
+func (c *Corpus) Get(id TraceID) (r *Result, release func(), err error) {
+	tr, err := c.store.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Merged: tr.Merged, params: mpisim.DefaultParams(), streamFn: tr.Streamer}
+	return res, tr.Release, nil
+}
+
+// Stats reports corpus totals (classes, runs, bytes, cache residency).
+func (c *Corpus) Stats() (corpus.Stats, error) { return c.store.Stats() }
+
+// Hashes lists the content addresses of every stored trace, ascending.
+func (c *Corpus) Hashes() []TraceID { return c.store.Hashes() }
+
+// Delete tombstones a stored trace; GC reclaims its bytes.
+func (c *Corpus) Delete(id TraceID) error { return c.store.Delete(id) }
+
+// GC compacts the corpus: tombstoned runs and unreferenced structural
+// classes are dropped, live runs are rewritten into one fresh segment.
+func (c *Corpus) GC() error { return c.store.GC() }
+
+// Close seals the corpus's active log into a compressed segment and closes
+// it. Results obtained from Get stay usable.
+func (c *Corpus) Close() error { return c.store.Close() }
+
+// StructuralFingerprint returns the whole-tree structural class key of a
+// merged trace: the fold over its encoded header and every per-vertex
+// structure section, ignoring all volatile timing payload. Two traces with
+// equal fingerprints dedup into one corpus class.
+func StructuralFingerprint(m *merge.Merged) (uint64, error) {
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		return 0, err
+	}
+	sp, err := merge.SplitEncoded(buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return sp.ClassKey(), nil
 }
 
 // Workload returns a named NPB/LESlie3d communication skeleton from the

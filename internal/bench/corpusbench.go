@@ -1,0 +1,419 @@
+package bench
+
+// Corpus microbenchmarks (internal/corpus): cross-run structural dedup
+// sizing, ingest throughput, and cold-versus-warm serving of decoded
+// traces. The sizing fixture is a record-rich 1024-rank multi-phase
+// exchange re-run eight times with shifted network constants — identical
+// communication structure, different timing payload, the repeated-campaign
+// shape the corpus exists for. The prediction benchmarks use the wraparound
+// ring instead, because its sends and recvs pair up into a simulatable
+// schedule.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/merge"
+	"repro/internal/mpisim"
+	"repro/internal/simmpi"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// corpusRuns is the run count of the sizing and ingest benchmarks, matching
+// the PR's acceptance criterion (8 same-workload runs).
+const corpusRuns = 8
+
+// observeCorpus runs a small corpus pass under the currently-enabled sink —
+// two offset runs of the 64-rank ring plus a cold and a warm Get — so dedup
+// ratios and cache hit rates appear in the -benchjson counter report next to
+// the pipeline stages.
+func observeCorpus() error {
+	dir, err := os.MkdirTemp("", "cypress-corpus-obs-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var last uint64
+	for run := 0; run < 2; run++ {
+		ctts, err := ringCTTsOff(64, 24, int64(3*run))
+		if err != nil {
+			return err
+		}
+		m, err := merge.All(ctts, 0)
+		if err != nil {
+			return err
+		}
+		if last, err = st.Ingest(m); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 2; i++ { // miss, then hit
+		tr, err := st.Get(last)
+		if err != nil {
+			return err
+		}
+		tr.Release()
+	}
+	return nil
+}
+
+// corpusSrc is the structure-rich multi-phase exchange behind the sizing
+// and serving benchmarks — the same workload shape as the acceptance tests
+// in internal/corpus (13 communication sites across seven phases, so the
+// payload stream is large enough that per-run record overheads do not
+// dominate the dedup arithmetic the way they would on the 3-site ring).
+const corpusSrc = `
+func main() {
+	for var k = 0; k < 16; k = k + 1 {
+		send((rank + 1) % size, 512, 1);
+		compute(20000);
+		recv((rank + size - 1) % size, 512, 1);
+		send((rank + 2) % size, 1024, 2);
+		compute(20000);
+		recv((rank + size - 2) % size, 1024, 2);
+		send((rank + 3) % size, 256, 3);
+		compute(20000);
+		recv((rank + size - 3) % size, 256, 3);
+		allreduce(8);
+		send((rank + 1) % size, 2048, 4);
+		compute(20000);
+		recv((rank + size - 1) % size, 2048, 4);
+		bcast(0, 4096);
+		send((rank + 2) % size, 128, 5);
+		compute(20000);
+		recv((rank + size - 2) % size, 128, 5);
+		reduce(0, 16);
+		send((rank + 4) % size, 768, 6);
+		compute(20000);
+		recv((rank + size - 4) % size, 768, 6);
+		send((rank + 5) % size, 1536, 7);
+		compute(20000);
+		recv((rank + size - 5) % size, 1536, 7);
+		allreduce(64);
+	}
+	barrier();
+}`
+
+// multiPhaseCTTs drives every rank's compressor directly over the corpusSrc
+// tree — 4 loop iterations over all non-barrier comm sites, barrier after
+// the loop — with all durations shifted by offNS, like ringCTTsOff but on
+// the record-rich fixture. Peers wrap modulo n but tags are per-site, so
+// the trace measures codec and store costs, not a simulatable schedule.
+func multiPhaseCTTs(n int, offNS int64) ([]*ctt.RankCTT, error) {
+	_, tree, err := compileSrc(corpusSrc)
+	if err != nil {
+		return nil, err
+	}
+	var loop *cst.Vertex
+	var sites []*cst.Vertex
+	tree.Walk(func(v *cst.Vertex, _ int) {
+		switch v.Kind {
+		case cst.KindLoop:
+			if loop == nil {
+				loop = v
+			}
+		case cst.KindComm:
+			sites = append(sites, v)
+		}
+	})
+	if loop == nil || len(sites) == 0 {
+		return nil, fmt.Errorf("micro: multi-phase tree missing vertices")
+	}
+	off := float64(offNS)
+	out := make([]*ctt.RankCTT, n)
+	var ev trace.Event
+	for r := 0; r < n; r++ {
+		c := ctt.NewCompressor(tree, r, timestat.ModeMeanStddev)
+		c.LoopEnter(int32(loop.Site))
+		for k := 0; k < 4; k++ {
+			c.LoopIter(int32(loop.Site))
+			for si, v := range sites {
+				if v.Op == trace.OpBarrier {
+					continue // emitted after the loop
+				}
+				peer := trace.NoPeer
+				switch v.Op {
+				case trace.OpSend:
+					peer = (r + 1 + si) % n
+				case trace.OpRecv:
+					peer = (r + n - 1 - si) % n
+				}
+				c.CommSite(int32(v.Site))
+				ev = trace.Event{
+					Op: v.Op, Peer: peer, Size: 256 + 16*si, Tag: si, ReqID: -1,
+					DurationNS: 1500 + float64(100*si) + off, ComputeNS: 40,
+				}
+				c.Event(&ev)
+			}
+		}
+		c.StructExit()
+		for _, v := range sites {
+			if v.Op != trace.OpBarrier {
+				continue
+			}
+			c.CommSite(int32(v.Site))
+			ev = trace.Event{Op: trace.OpBarrier, Peer: trace.NoPeer, ReqID: -1,
+				DurationNS: 900 + off}
+			c.Event(&ev)
+		}
+		c.Finalize()
+		out[r] = c.Finish()
+	}
+	return out, nil
+}
+
+// multiPhaseRunEncodings returns the standalone v1 encodings of `runs`
+// repeated 1024-rank multi-phase runs, durations shifted by 3ns per run.
+func multiPhaseRunEncodings(b *testing.B, runs int) [][]byte {
+	b.Helper()
+	encs := make([][]byte, runs)
+	for run := 0; run < runs; run++ {
+		ctts, err := multiPhaseCTTs(1024, int64(3*run))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := merge.All(ctts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		encs[run] = buf.Bytes()
+	}
+	return encs
+}
+
+// BenchCorpusIngest1024 measures ingest throughput: eight pre-encoded
+// 1024-rank runs pushed through split, class lookup, delta verification,
+// and the store's append log per op, into a fresh corpus each time. The
+// bytes/op metric is the logical trace volume ingested per op.
+func BenchCorpusIngest1024(b *testing.B) {
+	encs := multiPhaseRunEncodings(b, corpusRuns)
+	var logical int64
+	for _, e := range encs {
+		logical += int64(len(e))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		st, err := corpus.Open(dir, corpus.Options{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range encs {
+			if _, err := st.IngestBytes(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(logical), "bytes/op")
+}
+
+// BenchCorpusBytes1024 reports the sizing comparison behind the PR's
+// acceptance criterion rather than a meaningful time: each op stores the
+// eight runs and measures the sealed corpus directory, and the ratio/op
+// metric is (8 standalone blocked encodings) / (corpus bytes) — ≥4 means
+// structural dedup plus payload deltas beat per-run files at least
+// fourfold.
+func BenchCorpusBytes1024(b *testing.B) {
+	encs := multiPhaseRunEncodings(b, corpusRuns)
+	var standalone int64
+	for _, e := range encs {
+		m, err := merge.Decode(bytes.NewReader(e))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var blocked bytes.Buffer
+		if _, err := m.EncodeBlocked(&blocked, 1); err != nil {
+			b.Fatal(err)
+		}
+		standalone += int64(blocked.Len())
+	}
+	var corpusBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		st, err := corpus.Open(dir, corpus.Options{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range encs {
+			if _, err := st.IngestBytes(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		corpusBytes = dirSize(b, dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(corpusBytes), "corpus_bytes/op")
+	b.ReportMetric(float64(standalone), "standalone_bytes/op")
+	b.ReportMetric(float64(standalone)/float64(corpusBytes), "ratio/op")
+}
+
+func dirSize(b *testing.B, dir string) int64 {
+	b.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return total
+}
+
+// ringRunEncoding returns the standalone encoding of one 1024-rank ring
+// run, the simulatable fixture behind the corpus prediction benchmarks.
+func ringRunEncoding(b *testing.B) []byte {
+	b.Helper()
+	ctts, err := ringCTTs(1024, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := merge.All(ctts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// corpusWith ingests one encoded trace into a fresh store and returns the
+// store and the trace's content address.
+func corpusWith(b *testing.B, cacheBytes int64, enc []byte) (*corpus.Store, uint64) {
+	b.Helper()
+	st, err := corpus.Open(b.TempDir(), corpus.Options{CacheBytes: cacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := st.IngestBytes(enc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, h
+}
+
+// BenchCorpusGetCold1024 measures a cache-disabled Get: every op pays the
+// full reconstruct-and-decode path (segment read, payload patch, v1
+// decode).
+func BenchCorpusGetCold1024(b *testing.B) {
+	st, h := corpusWith(b, -1, multiPhaseRunEncodings(b, 1)[0])
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := st.Get(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Release()
+	}
+}
+
+// BenchCorpusGetWarm1024 measures a warm Get against the resident cache
+// entry: a map lookup and a pin under one mutex — zero allocations, no
+// decode.
+func BenchCorpusGetWarm1024(b *testing.B) {
+	st, h := corpusWith(b, 64<<20, multiPhaseRunEncodings(b, 1)[0])
+	defer st.Close()
+	tr, err := st.Get(h) // decode once; stays resident after release
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := st.Get(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Release()
+	}
+}
+
+// benchCorpusPredict runs the full corpus-served prediction pipeline per
+// op: Get, streamer, per-rank cursors, LogGP simulation. Cold serving
+// (cache disabled) re-decodes and rebuilds selection-class skeletons every
+// op; warm serving shares the resident decode and its memoized streamer, so
+// an op pays only cursor pulls and simulation — the difference is the
+// serving cache's whole value proposition.
+func benchCorpusPredict(b *testing.B, cacheBytes int64) {
+	st, h := corpusWith(b, cacheBytes, ringRunEncoding(b))
+	defer st.Close()
+	if cacheBytes > 0 {
+		tr, err := st.Get(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Streamer().Prepare(0); err != nil {
+			b.Fatal(err)
+		}
+		tr.Release()
+	}
+	params := mpisim.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := st.Get(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := tr.Streamer()
+		if err := s.Prepare(0); err != nil {
+			b.Fatal(err)
+		}
+		n := tr.Merged.NumRanks
+		srcs := make([]simmpi.EventSource, n)
+		for rank := range srcs {
+			cur, err := s.Cursor(rank)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcs[rank] = cur
+		}
+		if _, err := simmpi.SimulateStream(srcs, params); err != nil {
+			b.Fatal(err)
+		}
+		tr.Release()
+	}
+	b.ReportMetric(1024, "ranks/op")
+}
+
+// BenchCorpusPredictCold1024 predicts from an uncached corpus Get.
+func BenchCorpusPredictCold1024(b *testing.B) { benchCorpusPredict(b, -1) }
+
+// BenchCorpusPredictWarm1024 predicts from a warm corpus Get.
+func BenchCorpusPredictWarm1024(b *testing.B) { benchCorpusPredict(b, 64<<20) }

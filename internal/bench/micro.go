@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/blockio"
+	"repro/internal/corpus"
 	"repro/internal/cst"
 	"repro/internal/ctt"
 	"repro/internal/encpool"
@@ -37,8 +38,8 @@ import (
 var obsSink *obs.Sink
 
 // EnableObs attaches s to every pipeline stage the bench harness exercises:
-// the package-level sinks (merge, replay, simmpi, encpool, blockio) and the
-// compressors the harness constructs afterwards. Pass nil to detach.
+// the package-level sinks (merge, replay, simmpi, encpool, blockio, corpus)
+// and the compressors the harness constructs afterwards. Pass nil to detach.
 func EnableObs(s *obs.Sink) {
 	obsSink = s
 	merge.SetObs(s)
@@ -46,6 +47,7 @@ func EnableObs(s *obs.Sink) {
 	simmpi.SetObs(s)
 	encpool.SetObs(s)
 	blockio.SetObs(s)
+	corpus.SetObs(s)
 }
 
 // sink-call opcodes for recorded streams.
@@ -582,6 +584,12 @@ func Micros() []Micro {
 		{"PredictMaterialized1024", BenchPredictMaterialized1024},
 		{"CommMatrix1024", BenchCommMatrix1024},
 		{"CommMatrixMaterialized1024", BenchCommMatrixMaterialized1024},
+		{"CorpusIngest1024", BenchCorpusIngest1024},
+		{"CorpusBytes1024", BenchCorpusBytes1024},
+		{"CorpusGetCold1024", BenchCorpusGetCold1024},
+		{"CorpusGetWarm1024", BenchCorpusGetWarm1024},
+		{"CorpusPredictCold1024", BenchCorpusPredictCold1024},
+		{"CorpusPredictWarm1024", BenchCorpusPredictWarm1024},
 	}
 }
 
@@ -663,8 +671,10 @@ func observePipeline(s *obs.Sink) error {
 		}
 		srcs[r] = cur
 	}
-	_, err = simmpi.SimulateStream(srcs, mpisim.DefaultParams())
-	return err
+	if _, err = simmpi.SimulateStream(srcs, mpisim.DefaultParams()); err != nil {
+		return err
+	}
+	return observeCorpus()
 }
 
 // RunMicroReport executes the microbenchmarks (sink-off) and the observed

@@ -22,6 +22,8 @@ func TestObservePipelineReport(t *testing.T) {
 	for _, key := range []string{
 		"comp_events", "stride_values", "merge_pairs",
 		"enc_traces", "dec_traces", "sim_events_processed",
+		"corpus_ingests", "corpus_delta_runs", "corpus_stored_bytes",
+		"corpus_cache_hits", "corpus_cache_misses",
 	} {
 		if r.Counters[key] == 0 {
 			t.Errorf("observation pass left %s empty", key)

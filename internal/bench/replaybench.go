@@ -27,6 +27,14 @@ import (
 // (interior, rank 0, rank n-1) — the realistic SPMD shape for streaming
 // replay benchmarks.
 func ringCTTs(n, iters int) ([]*ctt.RankCTT, error) {
+	return ringCTTsOff(n, iters, 0)
+}
+
+// ringCTTsOff is ringCTTs with every duration shifted by offNS — distinct
+// offsets model repeated runs of the same workload on slightly different
+// machines (identical structure, shifted timing payload), the input shape
+// the corpus benchmarks dedup across.
+func ringCTTsOff(n, iters int, offNS int64) ([]*ctt.RankCTT, error) {
 	_, tree, err := compileSrc(spmdSrc)
 	if err != nil {
 		return nil, err
@@ -52,23 +60,23 @@ func ringCTTs(n, iters int) ([]*ctt.RankCTT, error) {
 	for r := 0; r < n; r++ {
 		c := ctt.NewCompressor(tree, r, timestat.ModeMeanStddev)
 		c.SetObs(obsSink)
-		ev = trace.Event{Op: trace.OpInit, Peer: trace.NoPeer, ReqID: -1, DurationNS: 120, ComputeNS: 10}
+		ev = trace.Event{Op: trace.OpInit, Peer: trace.NoPeer, ReqID: -1, DurationNS: 120 + float64(offNS), ComputeNS: 10}
 		c.Event(&ev)
 		c.LoopEnter(int32(loop.Site))
 		for k := 0; k < iters; k++ {
 			c.LoopIter(int32(loop.Site))
 			c.CommSite(int32(sendLeaf.Site))
-			ev = trace.Event{Op: trace.OpSend, Peer: (r + 1) % n, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1500, ComputeNS: 40}
+			ev = trace.Event{Op: trace.OpSend, Peer: (r + 1) % n, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1500 + float64(offNS), ComputeNS: 40}
 			c.Event(&ev)
 			c.CommSite(int32(recvLeaf.Site))
-			ev = trace.Event{Op: trace.OpRecv, Peer: (r + n - 1) % n, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1600, ComputeNS: 55}
+			ev = trace.Event{Op: trace.OpRecv, Peer: (r + n - 1) % n, Size: 4096, Tag: 7, ReqID: -1, DurationNS: 1600 + float64(offNS), ComputeNS: 55}
 			c.Event(&ev)
 		}
 		c.StructExit()
 		c.CommSite(int32(redLeaf.Site))
-		ev = trace.Event{Op: trace.OpAllreduce, Peer: trace.NoPeer, Size: 8, ReqID: -1, DurationNS: 2200, ComputeNS: 70}
+		ev = trace.Event{Op: trace.OpAllreduce, Peer: trace.NoPeer, Size: 8, ReqID: -1, DurationNS: 2200 + float64(offNS), ComputeNS: 70}
 		c.Event(&ev)
-		ev = trace.Event{Op: trace.OpFinalize, Peer: trace.NoPeer, ReqID: -1, DurationNS: 90}
+		ev = trace.Event{Op: trace.OpFinalize, Peer: trace.NoPeer, ReqID: -1, DurationNS: 90 + float64(offNS)}
 		c.Event(&ev)
 		c.Finalize()
 		out[r] = c.Finish()

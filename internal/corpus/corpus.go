@@ -1,0 +1,890 @@
+// Package corpus is the content-addressed trace store behind the fleet
+// serving path: many runs of the same program share one stored copy of their
+// communication structure, and each run costs only its dynamic residue.
+//
+// Ingest splits a standalone v1 encoding into its structure and payload
+// streams (merge.SplitEncoded), keys the structure by the structural class
+// key (a fingerprint fold over the header and every per-vertex structure
+// section), and stores the first run of a class as the class representative.
+// Every later run of the class stores only merge.DeltaPayload against the
+// representative payload — typically a few bytes per volatile field. Byte
+// identity is unconditional: ingest re-derives the standalone encoding from
+// what it is about to store (patch + join) and falls back to storing the full
+// encoding verbatim whenever the reconstruction is not byte-identical (odd
+// producers, non-minimal varints, fingerprint collisions).
+//
+// On-disk layout (all inside one directory):
+//
+//	class-<key>.cyps  "CYPS" u1 | classKey | structLen | repLen | CYPB(structure ++ repPayload)
+//	seg-<n>.cypd      "CYPD" u1 | CYPB(record*)
+//	active.cypl       "CYPA" u1 | record*
+//
+// where each run record is
+//
+//	u total | contentHash(8B LE) | u flags | u classKey | u fullLen |
+//	u bodyLen | body | crc32(8B-hash .. body, IEEE, 4B LE)
+//
+// New runs append to the raw active log; Close (and GC) seal the log into a
+// deflate-framed CYPB segment. Deletion appends a tombstone record; GC
+// compacts every segment, dropping tombstoned runs and unreferenced classes.
+//
+// The read side is Get: a size-bounded, ref-counted LRU of decoded traces
+// (see Cache) fronts reconstruction, so repeated Predict/CommMatrix/replay
+// on a hot trace skip the patch+join+decode entirely.
+package corpus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blockio"
+	"repro/internal/fp"
+	"repro/internal/merge"
+	"repro/internal/obs"
+)
+
+// File magics. The class/segment/log formats are versioned independently of
+// the trace encoding they carry.
+var (
+	classMagic = [4]byte{'C', 'Y', 'P', 'S'}
+	segMagic   = [4]byte{'C', 'Y', 'P', 'D'}
+	logMagic   = [4]byte{'C', 'Y', 'P', 'A'}
+)
+
+const (
+	formatVersion = 1
+
+	flagDelta     = 1 // body is DeltaPayload against the class representative
+	flagFull      = 2 // body is the complete standalone encoding
+	flagTombstone = 4 // run deleted; no body
+
+	// maxRecordLen bounds one run record; anything larger is corruption.
+	maxRecordLen = 1 << 30
+)
+
+var sink *obs.Sink
+
+// SetObs installs the package-wide metrics sink (nil disables).
+func SetObs(s *obs.Sink) { sink = s }
+
+// ContentHash is the content address of one ingested trace: a fingerprint
+// fold over its exact standalone v1 encoding bytes.
+func ContentHash(enc []byte) uint64 { return uint64(fp.New().Bytes(enc)) }
+
+// Options configures an opened store.
+type Options struct {
+	// CacheBytes bounds the decoded-trace cache by the summed standalone
+	// encoding size of resident traces; 0 means 64 MiB, negative disables
+	// the cache.
+	CacheBytes int64
+	// Workers bounds the CYPB frame codecs used for class and segment
+	// containers; 0 picks the blockio default.
+	Workers int
+}
+
+// class is one structural equivalence class resident in memory.
+type class struct {
+	key        uint64
+	structure  []byte
+	repPayload []byte
+}
+
+// runLoc locates one live run record. Records in sealed segments are
+// addressed by offset into the segment's uncompressed payload; records still
+// in the active log by file offset.
+type runLoc struct {
+	seg     int // -1 = active log
+	off     int64
+	flags   uint64
+	classK  uint64
+	fullLen int
+	bodyLen int
+}
+
+// Store is an open corpus directory. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.RWMutex
+	classes map[uint64]*class
+	index   map[uint64]runLoc
+	segs    []int // sealed segment numbers, ascending
+	nextSeg int
+
+	activeF   *os.File
+	activeOff int64
+
+	// aggregate byte accounting for Stats (live runs only)
+	logicalBytes int64
+	storedBytes  int64
+	deltaRuns    int64
+	fullRuns     int64
+
+	cache  *Cache
+	closed bool
+}
+
+// Open opens (creating if needed) the corpus directory and loads its index.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: open: %w", err)
+	}
+	cacheBytes := opt.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 20
+	}
+	s := &Store{
+		dir:     dir,
+		opt:     opt,
+		classes: make(map[uint64]*class),
+		index:   make(map[uint64]runLoc),
+		cache:   NewCache(cacheBytes),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) classPath(key uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("class-%016x.cyps", key))
+}
+
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.cypd", n))
+}
+
+func (s *Store) logPath() string { return filepath.Join(s.dir, "active.cypl") }
+
+// load scans class files, sealed segments (numeric order), and the active
+// log, rebuilding the in-memory index. Tombstones drop earlier entries.
+func (s *Store) load() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("corpus: open: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "class-") && strings.HasSuffix(name, ".cyps"):
+			c, err := readClassFile(filepath.Join(s.dir, name), s.opt.Workers)
+			if err != nil {
+				return fmt.Errorf("corpus: %s: %w", name, err)
+			}
+			s.classes[c.key] = c
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".cypd"):
+			var n int
+			if _, err := fmt.Sscanf(name, "seg-%d.cypd", &n); err != nil {
+				return fmt.Errorf("corpus: segment name %q: %w", name, err)
+			}
+			s.segs = append(s.segs, n)
+			if n >= s.nextSeg {
+				s.nextSeg = n + 1
+			}
+		}
+	}
+	sort.Ints(s.segs)
+	for _, n := range s.segs {
+		payload, err := s.readSegPayload(n)
+		if err != nil {
+			return err
+		}
+		if err := s.indexRecords(payload, n, 0); err != nil {
+			return fmt.Errorf("corpus: seg-%06d.cypd: %w", n, err)
+		}
+	}
+	if err := s.openActive(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// openActive opens (creating if absent) the active log, verifies its header,
+// and indexes its records.
+func (s *Store) openActive() error {
+	f, err := os.OpenFile(s.logPath(), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("corpus: active log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: active log: %w", err)
+	}
+	if st.Size() == 0 {
+		hdr := append(append([]byte{}, logMagic[:]...), formatVersion)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return fmt.Errorf("corpus: active log: %w", err)
+		}
+		s.activeF, s.activeOff = f, int64(len(hdr))
+		return nil
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: active log: %w", err)
+	}
+	if len(raw) < 5 || !bytes.Equal(raw[:4], logMagic[:]) || raw[4] != formatVersion {
+		f.Close()
+		return errors.New("corpus: active log: bad header")
+	}
+	if err := s.indexRecords(raw[5:], -1, 5); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: active log: %w", err)
+	}
+	s.activeF, s.activeOff = f, int64(len(raw))
+	return nil
+}
+
+// record is one parsed run record.
+type record struct {
+	hash    uint64
+	flags   uint64
+	classK  uint64
+	fullLen int
+	body    []byte
+	raw     []byte // complete record bytes including length prefix and crc
+}
+
+// parseRecord decodes one record at the head of b, returning it and the
+// remaining bytes.
+func parseRecord(b []byte) (record, []byte, error) {
+	var r record
+	total, n := binary.Uvarint(b)
+	if n <= 0 || total > maxRecordLen || uint64(len(b)-n) < total {
+		return r, nil, errors.New("truncated record")
+	}
+	r.raw = b[:n+int(total)]
+	rest := b[n+int(total):]
+	body := b[n : n+int(total)]
+	if len(body) < 12 { // hash + crc at minimum
+		return r, nil, errors.New("short record")
+	}
+	crcWant := binary.LittleEndian.Uint32(body[len(body)-4:])
+	hashed := body[:len(body)-4]
+	if crc32.ChecksumIEEE(hashed) != crcWant {
+		return r, nil, errors.New("record crc mismatch")
+	}
+	r.hash = binary.LittleEndian.Uint64(hashed[:8])
+	c := hashed[8:]
+	var k int
+	if r.flags, k = binary.Uvarint(c); k <= 0 {
+		return r, nil, errors.New("bad record flags")
+	}
+	c = c[k:]
+	if r.classK, k = binary.Uvarint(c); k <= 0 {
+		return r, nil, errors.New("bad record class key")
+	}
+	c = c[k:]
+	fl, k := binary.Uvarint(c)
+	if k <= 0 || fl > maxRecordLen {
+		return r, nil, errors.New("bad record full length")
+	}
+	r.fullLen = int(fl)
+	c = c[k:]
+	bl, k := binary.Uvarint(c)
+	if k <= 0 || uint64(len(c)-k) != bl {
+		return r, nil, errors.New("bad record body length")
+	}
+	r.body = c[k : k+int(bl)]
+	return r, rest, nil
+}
+
+// appendRecord serializes a record (without filling raw).
+func appendRecord(dst []byte, r record) []byte {
+	var inner []byte
+	inner = binary.LittleEndian.AppendUint64(inner, r.hash)
+	inner = binary.AppendUvarint(inner, r.flags)
+	inner = binary.AppendUvarint(inner, r.classK)
+	inner = binary.AppendUvarint(inner, uint64(r.fullLen))
+	inner = binary.AppendUvarint(inner, uint64(len(r.body)))
+	inner = append(inner, r.body...)
+	inner = binary.LittleEndian.AppendUint32(inner, crc32.ChecksumIEEE(inner))
+	dst = binary.AppendUvarint(dst, uint64(len(inner)))
+	return append(dst, inner...)
+}
+
+// indexRecords walks a concatenated record stream, applying each record to
+// the index. seg is the segment number (-1 = active log); base is the byte
+// offset of the stream's first record within its file or segment payload.
+func (s *Store) indexRecords(b []byte, seg int, base int64) error {
+	off := base
+	for len(b) > 0 {
+		r, rest, err := parseRecord(b)
+		if err != nil {
+			return err
+		}
+		if r.flags&flagTombstone != 0 {
+			s.dropAccounting(s.index[r.hash])
+			delete(s.index, r.hash)
+		} else {
+			if old, ok := s.index[r.hash]; ok {
+				s.dropAccounting(old)
+			}
+			loc := runLoc{
+				seg: seg, off: off, flags: r.flags, classK: r.classK,
+				fullLen: r.fullLen, bodyLen: len(r.body),
+			}
+			s.index[r.hash] = loc
+			s.addAccounting(loc)
+		}
+		off += int64(len(r.raw))
+		b = rest
+	}
+	return nil
+}
+
+func (s *Store) addAccounting(loc runLoc) {
+	s.logicalBytes += int64(loc.fullLen)
+	s.storedBytes += int64(loc.bodyLen)
+	if loc.flags&flagDelta != 0 {
+		s.deltaRuns++
+	} else {
+		s.fullRuns++
+	}
+}
+
+func (s *Store) dropAccounting(loc runLoc) {
+	if loc == (runLoc{}) {
+		return
+	}
+	s.logicalBytes -= int64(loc.fullLen)
+	s.storedBytes -= int64(loc.bodyLen)
+	if loc.flags&flagDelta != 0 {
+		s.deltaRuns--
+	} else {
+		s.fullRuns--
+	}
+}
+
+// readClassFile loads and validates one class file.
+func readClassFile(path string, workers int) (*class, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 5 || !bytes.Equal(raw[:4], classMagic[:]) || raw[4] != formatVersion {
+		return nil, errors.New("bad class header")
+	}
+	b := raw[5:]
+	var vals [3]uint64
+	for i := range vals {
+		v, n := binary.Uvarint(b)
+		if n <= 0 || (i > 0 && v > maxRecordLen) {
+			return nil, errors.New("bad class header field")
+		}
+		vals[i], b = v, b[n:]
+	}
+	rd, err := blockio.NewReader(bytes.NewReader(b), blockio.ReaderOptions{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("class container: %w", err)
+	}
+	payload, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("class container: %w", err)
+	}
+	structLen, repLen := int(vals[1]), int(vals[2])
+	if structLen+repLen != len(payload) {
+		return nil, errors.New("class payload length mismatch")
+	}
+	c := &class{key: vals[0], structure: payload[:structLen], repPayload: payload[structLen:]}
+	// The declared key must match the structure it carries — a mismatch means
+	// the file was corrupted in a crc-colliding way or renamed.
+	sp, err := merge.SplitEncoded(append(append([]byte{}, c.structure...), c.repPayload...))
+	if err == nil && sp.ClassKey() != c.key {
+		return nil, errors.New("class key does not match stored structure")
+	}
+	return c, nil
+}
+
+// writeClassFile persists a new class.
+func (s *Store) writeClassFile(c *class) error {
+	var buf bytes.Buffer
+	buf.Write(classMagic[:])
+	buf.WriteByte(formatVersion)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{c.key, uint64(len(c.structure)), uint64(len(c.repPayload))} {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	w, err := blockio.NewWriter(&buf, blockio.WriterOptions{Workers: s.opt.Workers})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(c.structure); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.repPayload); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(s.classPath(c.key), buf.Bytes(), 0o644)
+}
+
+// readSegPayload inflates one sealed segment's record stream.
+func (s *Store) readSegPayload(n int) ([]byte, error) {
+	raw, err := os.ReadFile(s.segPath(n))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	if len(raw) < 5 || !bytes.Equal(raw[:4], segMagic[:]) || raw[4] != formatVersion {
+		return nil, fmt.Errorf("corpus: seg-%06d.cypd: bad header", n)
+	}
+	rd, err := blockio.NewReader(bytes.NewReader(raw[5:]), blockio.ReaderOptions{Workers: s.opt.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: seg-%06d.cypd: %w", n, err)
+	}
+	payload, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: seg-%06d.cypd: %w", n, err)
+	}
+	return payload, nil
+}
+
+// Ingest adds a merged trace, storing it against its structural class, and
+// returns its content hash. Ingesting a trace whose standalone encoding is
+// already present is a no-op returning the existing hash.
+func (s *Store) Ingest(m *merge.Merged) (uint64, error) {
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		return 0, fmt.Errorf("corpus: ingest: %w", err)
+	}
+	return s.IngestBytes(buf.Bytes())
+}
+
+// IngestBytes adds a trace given its standalone v1 encoding. The bytes are
+// the unit of identity: Get and GetBytes reproduce them exactly.
+func (s *Store) IngestBytes(enc []byte) (uint64, error) {
+	sink.Inc(obs.CorpusIngests)
+	h := ContentHash(enc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("corpus: store is closed")
+	}
+	if _, ok := s.index[h]; ok {
+		sink.Inc(obs.CorpusDuplicates)
+		return h, nil
+	}
+
+	rec := record{hash: h, flags: flagFull, fullLen: len(enc), body: enc}
+	if sp, err := merge.SplitEncoded(enc); err == nil {
+		key := sp.ClassKey()
+		c, ok := s.classes[key]
+		switch {
+		case ok && bytes.Equal(c.structure, sp.Structure):
+			// Established class: store the payload residue.
+			if d, err := merge.DeltaPayload(sp.Payload, c.repPayload); err == nil &&
+				s.verifyDelta(c, d, enc) {
+				rec = record{hash: h, flags: flagDelta, classK: key, fullLen: len(enc), body: d}
+			}
+		case !ok:
+			// First run of its class: the class file carries the structure and
+			// this payload as representative; the run itself is a self-delta.
+			c = &class{key: key, structure: sp.Structure, repPayload: sp.Payload}
+			if d, err := merge.DeltaPayload(sp.Payload, c.repPayload); err == nil &&
+				s.verifyDelta(c, d, enc) {
+				if err := s.writeClassFile(c); err != nil {
+					return 0, fmt.Errorf("corpus: ingest: %w", err)
+				}
+				s.classes[key] = c
+				sink.Inc(obs.CorpusClasses)
+				rec = record{hash: h, flags: flagDelta, classK: key, fullLen: len(enc), body: d}
+			}
+			// ok && structure differs: a 64-bit class-key collision between
+			// different structures — fall through and store the run in full.
+		}
+	}
+
+	loc, err := s.appendActive(rec)
+	if err != nil {
+		return 0, fmt.Errorf("corpus: ingest: %w", err)
+	}
+	s.index[h] = loc
+	s.addAccounting(loc)
+	if rec.flags&flagDelta != 0 {
+		sink.Inc(obs.CorpusDeltaRuns)
+	} else {
+		sink.Inc(obs.CorpusFullRuns)
+	}
+	sink.Add(obs.CorpusLogicalBytes, int64(len(enc)))
+	sink.Add(obs.CorpusStoredBytes, int64(len(rec.body)))
+	if len(enc) > 0 {
+		sink.Observe(obs.HistCorpusDeltaPermille, int64(len(rec.body))*1000/int64(len(enc)))
+	}
+	return h, nil
+}
+
+// verifyDelta proves byte identity before committing to delta storage: the
+// exact reconstruction path of Get must reproduce enc.
+func (s *Store) verifyDelta(c *class, delta, enc []byte) bool {
+	p, err := merge.PatchPayload(delta, c.repPayload)
+	if err != nil {
+		return false
+	}
+	got, err := merge.JoinEncoded(c.structure, p)
+	return err == nil && bytes.Equal(got, enc)
+}
+
+// appendActive writes one record to the active log and returns its location.
+func (s *Store) appendActive(rec record) (runLoc, error) {
+	raw := appendRecord(nil, rec)
+	if _, err := s.activeF.WriteAt(raw, s.activeOff); err != nil {
+		return runLoc{}, err
+	}
+	loc := runLoc{
+		seg: -1, off: s.activeOff, flags: rec.flags, classK: rec.classK,
+		fullLen: rec.fullLen, bodyLen: len(rec.body),
+	}
+	s.activeOff += int64(len(raw))
+	return loc, nil
+}
+
+// readRecordAt fetches and re-validates the record at loc.
+func (s *Store) readRecordAt(loc runLoc) (record, error) {
+	var stream []byte
+	if loc.seg < 0 {
+		// Active log: read just this record. Its full length is bounded by
+		// the serialized form of loc.
+		max := int64(binary.MaxVarintLen64+12+3*binary.MaxVarintLen64) + int64(loc.bodyLen) + binary.MaxVarintLen64
+		buf := make([]byte, max)
+		n, err := s.activeF.ReadAt(buf, loc.off)
+		if err != nil && err != io.EOF {
+			return record{}, fmt.Errorf("corpus: active log: %w", err)
+		}
+		stream = buf[:n]
+	} else {
+		payload, err := s.readSegPayload(loc.seg)
+		if err != nil {
+			return record{}, err
+		}
+		if loc.off > int64(len(payload)) {
+			return record{}, errors.New("corpus: record offset past segment end")
+		}
+		stream = payload[loc.off:]
+	}
+	rec, _, err := parseRecord(stream)
+	if err != nil {
+		return record{}, fmt.Errorf("corpus: record: %w", err)
+	}
+	return rec, nil
+}
+
+// GetBytes reconstructs the standalone v1 encoding of the trace addressed by
+// hash. The result is byte-identical to the ingested encoding; any
+// divergence (corrupt store) is an error.
+func (s *Store) GetBytes(hash uint64) ([]byte, error) {
+	sink.Inc(obs.CorpusGets)
+	s.mu.RLock()
+	enc, err := s.getBytesLocked(hash)
+	s.mu.RUnlock()
+	return enc, err
+}
+
+func (s *Store) getBytesLocked(hash uint64) ([]byte, error) {
+	loc, ok := s.index[hash]
+	if !ok {
+		return nil, fmt.Errorf("corpus: no trace %016x", hash)
+	}
+	rec, err := s.readRecordAt(loc)
+	if err != nil {
+		return nil, err
+	}
+	if rec.hash != hash {
+		return nil, fmt.Errorf("corpus: record hash %016x does not match requested %016x", rec.hash, hash)
+	}
+	var enc []byte
+	switch {
+	case rec.flags&flagFull != 0:
+		enc = append([]byte{}, rec.body...)
+	case rec.flags&flagDelta != 0:
+		c, ok := s.classes[rec.classK]
+		if !ok {
+			return nil, fmt.Errorf("corpus: trace %016x references missing class %016x", hash, rec.classK)
+		}
+		p, err := merge.PatchPayload(rec.body, c.repPayload)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: trace %016x: %w", hash, err)
+		}
+		enc, err = merge.JoinEncoded(c.structure, p)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: trace %016x: %w", hash, err)
+		}
+	default:
+		return nil, fmt.Errorf("corpus: trace %016x has no stored form (flags %#x)", hash, rec.flags)
+	}
+	if ContentHash(enc) != hash {
+		return nil, fmt.Errorf("corpus: trace %016x reconstruction does not match its content hash", hash)
+	}
+	return enc, nil
+}
+
+// Get returns the decoded trace addressed by hash, pinned in the serving
+// cache. The caller must Release the returned Trace when done with it; until
+// then it cannot be evicted. Repeated gets of a resident trace do no decode
+// work.
+func (s *Store) Get(hash uint64) (*Trace, error) {
+	var t0 time.Time
+	if sink != nil {
+		t0 = time.Now()
+	}
+	if t, ok := s.cache.Acquire(hash); ok {
+		sink.Inc(obs.CorpusGets)
+		sink.Inc(obs.CorpusCacheHits)
+		if sink != nil {
+			sink.Observe(obs.HistCorpusGetNS, time.Since(t0).Nanoseconds())
+		}
+		return t, nil
+	}
+	sink.Inc(obs.CorpusCacheMisses)
+	enc, err := s.GetBytes(hash)
+	if err != nil {
+		return nil, err
+	}
+	m, err := merge.Decode(bytes.NewReader(enc))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: trace %016x: %w", hash, err)
+	}
+	t := s.cache.Insert(hash, m, int64(len(enc)))
+	if sink != nil {
+		sink.Observe(obs.HistCorpusGetNS, time.Since(t0).Nanoseconds())
+	}
+	return t, nil
+}
+
+// Delete removes a trace from the corpus by appending a tombstone. The bytes
+// are reclaimed at the next GC.
+func (s *Store) Delete(hash uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("corpus: store is closed")
+	}
+	loc, ok := s.index[hash]
+	if !ok {
+		return fmt.Errorf("corpus: no trace %016x", hash)
+	}
+	if _, err := s.appendActive(record{hash: hash, flags: flagTombstone}); err != nil {
+		return fmt.Errorf("corpus: delete: %w", err)
+	}
+	s.dropAccounting(loc)
+	delete(s.index, hash)
+	s.cache.Invalidate(hash)
+	return nil
+}
+
+// seal moves the active log's records into a new CYPB segment and truncates
+// the log. Callers hold s.mu.
+func (s *Store) seal() error {
+	if s.activeOff <= 5 {
+		return nil
+	}
+	raw := make([]byte, s.activeOff-5)
+	if _, err := s.activeF.ReadAt(raw, 5); err != nil {
+		return err
+	}
+	n := s.nextSeg
+	var buf bytes.Buffer
+	buf.Write(segMagic[:])
+	buf.WriteByte(formatVersion)
+	w, err := blockio.NewWriter(&buf, blockio.WriterOptions{Workers: s.opt.Workers})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(raw); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(s.segPath(n), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	s.nextSeg++
+	s.segs = append(s.segs, n)
+	// Live locations in the log keep their record offsets relative to the
+	// stream start; the segment payload is that stream verbatim.
+	for h, loc := range s.index {
+		if loc.seg < 0 {
+			loc.seg, loc.off = n, loc.off-5
+			s.index[h] = loc
+		}
+	}
+	if err := s.activeF.Truncate(5); err != nil {
+		return err
+	}
+	s.activeOff = 5
+	return nil
+}
+
+// GC seals the active log, then compacts the corpus: live run records are
+// rewritten into one fresh segment, tombstones and superseded records are
+// dropped, and class files no longer referenced by any delta run are
+// deleted.
+func (s *Store) GC() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("corpus: store is closed")
+	}
+	if err := s.seal(); err != nil {
+		return fmt.Errorf("corpus: gc: %w", err)
+	}
+	type liveRun struct {
+		hash uint64
+		rec  record
+	}
+	var live []liveRun
+	for h, loc := range s.index {
+		rec, err := s.readRecordAt(loc)
+		if err != nil {
+			return fmt.Errorf("corpus: gc: trace %016x: %w", h, err)
+		}
+		live = append(live, liveRun{h, rec})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].hash < live[j].hash })
+
+	oldSegs := s.segs
+	s.segs = nil
+	newIndex := make(map[uint64]runLoc, len(live))
+	if len(live) > 0 {
+		n := s.nextSeg
+		var stream []byte
+		for _, lr := range live {
+			off := int64(len(stream))
+			stream = append(stream, lr.rec.raw...)
+			newIndex[lr.hash] = runLoc{
+				seg: n, off: off, flags: lr.rec.flags, classK: lr.rec.classK,
+				fullLen: lr.rec.fullLen, bodyLen: len(lr.rec.body),
+			}
+		}
+		var buf bytes.Buffer
+		buf.Write(segMagic[:])
+		buf.WriteByte(formatVersion)
+		w, err := blockio.NewWriter(&buf, blockio.WriterOptions{Workers: s.opt.Workers})
+		if err != nil {
+			return fmt.Errorf("corpus: gc: %w", err)
+		}
+		if _, err := w.Write(stream); err != nil {
+			return fmt.Errorf("corpus: gc: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("corpus: gc: %w", err)
+		}
+		if err := os.WriteFile(s.segPath(n), buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("corpus: gc: %w", err)
+		}
+		s.nextSeg++
+		s.segs = []int{n}
+	}
+	s.index = newIndex
+	for _, n := range oldSegs {
+		if err := os.Remove(s.segPath(n)); err != nil {
+			return fmt.Errorf("corpus: gc: %w", err)
+		}
+	}
+	// Drop classes with no remaining delta reference.
+	referenced := make(map[uint64]bool)
+	for _, loc := range s.index {
+		if loc.flags&flagDelta != 0 {
+			referenced[loc.classK] = true
+		}
+	}
+	for key := range s.classes {
+		if !referenced[key] {
+			if err := os.Remove(s.classPath(key)); err != nil {
+				return fmt.Errorf("corpus: gc: %w", err)
+			}
+			delete(s.classes, key)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the store.
+type Stats struct {
+	Classes      int   `json:"classes"`
+	Runs         int   `json:"runs"`
+	DeltaRuns    int   `json:"delta_runs"`
+	FullRuns     int   `json:"full_runs"`
+	Segments     int   `json:"segments"`
+	LogicalBytes int64 `json:"logical_bytes"` // summed standalone encodings
+	StoredBytes  int64 `json:"stored_bytes"`  // summed live record bodies
+	DiskBytes    int64 `json:"disk_bytes"`    // bytes on disk right now
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+}
+
+// Stats reports current store totals. DiskBytes walks the directory.
+func (s *Store) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Classes:      len(s.classes),
+		Runs:         len(s.index),
+		DeltaRuns:    int(s.deltaRuns),
+		FullRuns:     int(s.fullRuns),
+		Segments:     len(s.segs),
+		LogicalBytes: s.logicalBytes,
+		StoredBytes:  s.storedBytes,
+	}
+	st.CacheEntries, st.CacheBytes = s.cache.Stats()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Stats{}, fmt.Errorf("corpus: stats: %w", err)
+	}
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			return Stats{}, fmt.Errorf("corpus: stats: %w", err)
+		}
+		st.DiskBytes += info.Size()
+	}
+	return st, nil
+}
+
+// Hashes lists the content hashes of every live trace, ascending.
+func (s *Store) Hashes() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, 0, len(s.index))
+	for h := range s.index {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close seals the active log into a segment and closes the store. The
+// serving cache is dropped; outstanding Trace references stay usable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.seal()
+	if cerr := s.activeF.Close(); err == nil {
+		err = cerr
+	}
+	s.cache.Clear()
+	if err != nil {
+		return fmt.Errorf("corpus: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,626 @@
+package corpus_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cst"
+	"repro/internal/ctt"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/merge"
+	"repro/internal/mpisim"
+	"repro/internal/obs"
+	"repro/internal/timestat"
+	"repro/internal/trace"
+)
+
+// multiPhaseSrc is the corpus acceptance workload: a structure-rich
+// multi-phase exchange whose op durations are constant in steady state
+// (eager sends, compute-padded recvs that always find their message
+// arrived, deterministic collectives). Across runs on slightly different
+// machines (see runParams) every time statistic shifts by a small exact
+// amount, which is the regime the payload delta codec is built for.
+const multiPhaseSrc = `
+func main() {
+	for var k = 0; k < 16; k = k + 1 {
+		send((rank + 1) % size, 512, 1);
+		compute(20000);
+		recv((rank + size - 1) % size, 512, 1);
+		send((rank + 2) % size, 1024, 2);
+		compute(20000);
+		recv((rank + size - 2) % size, 1024, 2);
+		send((rank + 3) % size, 256, 3);
+		compute(20000);
+		recv((rank + size - 3) % size, 256, 3);
+		allreduce(8);
+		send((rank + 1) % size, 2048, 4);
+		compute(20000);
+		recv((rank + size - 1) % size, 2048, 4);
+		bcast(0, 4096);
+		send((rank + 2) % size, 128, 5);
+		compute(20000);
+		recv((rank + size - 2) % size, 128, 5);
+		reduce(0, 16);
+		send((rank + 4) % size, 768, 6);
+		compute(20000);
+		recv((rank + size - 4) % size, 768, 6);
+		send((rank + 5) % size, 1536, 7);
+		compute(20000);
+		recv((rank + size - 5) % size, 1536, 7);
+		allreduce(64);
+	}
+	barrier();
+}`
+
+// runParams models "same workload, fresh timings": run r executes on a
+// machine whose latency/overhead differ by small integer nanoseconds.
+func runParams(run int) mpisim.Params {
+	p := mpisim.DefaultParams()
+	p.NoiseFrac = 0
+	p.LatencyNS += float64(run) * 3
+	p.OverheadNS += float64(run)
+	return p
+}
+
+// simMerged traces src on ranks simulated processes under run's params and
+// merges the per-rank trees.
+func simMerged(t testing.TB, src string, ranks, run int) *merge.Merged {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	irProg, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cst.Build(irProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := make([]*ctt.Compressor, ranks)
+	sinks := make([]trace.Sink, ranks)
+	for i := range sinks {
+		comps[i] = ctt.NewCompressor(tree, i, timestat.ModeMeanStddev)
+		sinks[i] = comps[i]
+	}
+	if _, err := mpisim.Run(ranks, runParams(run), sinks, func(r *mpisim.Rank) {
+		interp.Execute(prog, r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctts := make([]*ctt.RankCTT, ranks)
+	for i := range comps {
+		ctts[i] = comps[i].Finish()
+	}
+	m, err := merge.All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func encodeBytes(t testing.TB, m *merge.Merged) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func blockedLen(t testing.TB, m *merge.Merged) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := m.EncodeBlocked(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+func dirBytes(t testing.TB, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestIngestGetByteIdentity: GetBytes must reproduce every ingested
+// encoding exactly, duplicates are no-ops, and distinct runs of one
+// workload land in one structural class as delta runs.
+func TestIngestGetByteIdentity(t *testing.T) {
+	for _, ranks := range []int{7, 64} {
+		st, err := corpus.Open(t.TempDir(), corpus.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hashes []uint64
+		var encs [][]byte
+		for run := 0; run < 3; run++ {
+			enc := encodeBytes(t, simMerged(t, multiPhaseSrc, ranks, run))
+			h, err := st.IngestBytes(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes = append(hashes, h)
+			encs = append(encs, enc)
+		}
+		for i, h := range hashes {
+			got, err := st.GetBytes(h)
+			if err != nil {
+				t.Fatalf("ranks=%d run=%d: %v", ranks, i, err)
+			}
+			if !bytes.Equal(got, encs[i]) {
+				t.Fatalf("ranks=%d run=%d: GetBytes differs from standalone encoding", ranks, i)
+			}
+		}
+		dup, err := st.IngestBytes(encs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dup != hashes[1] {
+			t.Fatalf("duplicate ingest returned %016x, want %016x", dup, hashes[1])
+		}
+		stats, err := st.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Runs != 3 || stats.Classes != 1 || stats.DeltaRuns != 3 {
+			t.Fatalf("ranks=%d: stats = %+v, want 3 runs in 1 class, all delta", ranks, stats)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorpusRatio is the PR acceptance bound: a corpus of 8 same-workload
+// runs with fresh timings must be at least 4x smaller on disk than the 8
+// standalone blocked encodings, while reconstructing each run byte-exactly
+// — including after a close/reopen cycle (sealed-segment read path).
+func TestCorpusRatio(t *testing.T) {
+	for _, ranks := range []int{7, 64} {
+		dir := t.TempDir()
+		st, err := corpus.Open(dir, corpus.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var blockedTotal int
+		var hashes []uint64
+		var encs [][]byte
+		for run := 0; run < 8; run++ {
+			m := simMerged(t, multiPhaseSrc, ranks, run)
+			blockedTotal += blockedLen(t, m)
+			enc := encodeBytes(t, m)
+			h, err := st.IngestBytes(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes = append(hashes, h)
+			encs = append(encs, enc)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		disk := dirBytes(t, dir)
+		ratio := float64(blockedTotal) / float64(disk)
+		t.Logf("ranks=%d: blocked8=%dB corpus=%dB ratio=%.2f", ranks, blockedTotal, disk, ratio)
+		if ratio < 4 {
+			t.Fatalf("ranks=%d: corpus ratio %.2f < 4 (corpus %dB vs blocked %dB)",
+				ranks, ratio, disk, blockedTotal)
+		}
+
+		st, err = corpus.Open(dir, corpus.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hashes {
+			got, err := st.GetBytes(h)
+			if err != nil {
+				t.Fatalf("ranks=%d run=%d after reopen: %v", ranks, i, err)
+			}
+			if !bytes.Equal(got, encs[i]) {
+				t.Fatalf("ranks=%d run=%d after reopen: bytes differ", ranks, i)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// spmdMerged builds a merged 1024-rank trace by driving the compressors
+// directly (no simulator) with constant per-site durations offset by small
+// integers per run — the large-scale variant of "fresh timings".
+func spmdMerged(t testing.TB, ranks, run int) *merge.Merged {
+	t.Helper()
+	prog, err := lang.Parse(multiPhaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	irProg, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cst.Build(irProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *cst.Vertex
+	var sites []*cst.Vertex
+	tree.Walk(func(v *cst.Vertex, _ int) {
+		switch v.Kind {
+		case cst.KindLoop:
+			if loop == nil {
+				loop = v
+			}
+		case cst.KindComm:
+			sites = append(sites, v)
+		}
+	})
+	if loop == nil || len(sites) == 0 {
+		t.Fatal("spmd tree missing vertices")
+	}
+	off := float64(run * 3)
+	ctts := make([]*ctt.RankCTT, ranks)
+	var ev trace.Event
+	for r := 0; r < ranks; r++ {
+		c := ctt.NewCompressor(tree, r, timestat.ModeMeanStddev)
+		c.LoopEnter(int32(loop.Site))
+		for k := 0; k < 4; k++ {
+			c.LoopIter(int32(loop.Site))
+			for si, v := range sites {
+				if v.Op == trace.OpBarrier {
+					continue // emitted after the loop
+				}
+				peer := trace.NoPeer
+				switch v.Op {
+				case trace.OpSend:
+					peer = (r + 1 + si) % ranks
+				case trace.OpRecv:
+					peer = (r + ranks - 1 - si) % ranks
+				}
+				c.CommSite(int32(v.Site))
+				ev = trace.Event{
+					Op: v.Op, Peer: peer, Size: 256 + 16*si, Tag: si, ReqID: -1,
+					DurationNS: 1500 + float64(100*si) + off, ComputeNS: 40,
+				}
+				c.Event(&ev)
+			}
+		}
+		c.StructExit()
+		for _, v := range sites {
+			if v.Op != trace.OpBarrier {
+				continue
+			}
+			c.CommSite(int32(v.Site))
+			ev = trace.Event{Op: trace.OpBarrier, Peer: trace.NoPeer, ReqID: -1,
+				DurationNS: 900 + off}
+			c.Event(&ev)
+		}
+		c.Finalize()
+		ctts[r] = c.Finish()
+	}
+	m, err := merge.All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCorpusRatio1024 asserts the acceptance bound and byte identity at
+// 1024 ranks, using the direct-driven SPMD fixture.
+func TestCorpusRatio1024(t *testing.T) {
+	dir := t.TempDir()
+	st, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blockedTotal int
+	var hashes []uint64
+	var encs [][]byte
+	for run := 0; run < 8; run++ {
+		m := spmdMerged(t, 1024, run)
+		blockedTotal += blockedLen(t, m)
+		enc := encodeBytes(t, m)
+		h, err := st.IngestBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+		encs = append(encs, enc)
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Classes != 1 || stats.DeltaRuns != 8 {
+		t.Fatalf("stats = %+v, want 8 delta runs in 1 class", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk := dirBytes(t, dir)
+	ratio := float64(blockedTotal) / float64(disk)
+	t.Logf("ranks=1024: blocked8=%dB corpus=%dB ratio=%.2f", blockedTotal, disk, ratio)
+	if ratio < 4 {
+		t.Fatalf("corpus ratio %.2f < 4 (corpus %dB vs blocked %dB)", ratio, disk, blockedTotal)
+	}
+	st, err = corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i, h := range hashes {
+		got, err := st.GetBytes(h)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !bytes.Equal(got, encs[i]) {
+			t.Fatalf("run %d: bytes differ after reopen", i)
+		}
+	}
+}
+
+// TestDeleteGC: tombstoned runs disappear, GC compacts them away, and a
+// class whose last delta run is deleted is dropped with its file.
+func TestDeleteGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var hashes []uint64
+	var encs [][]byte
+	for run := 0; run < 3; run++ {
+		enc := encodeBytes(t, simMerged(t, multiPhaseSrc, 7, run))
+		h, err := st.IngestBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+		encs = append(encs, enc)
+	}
+	if err := st.Delete(hashes[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetBytes(hashes[1]); err == nil {
+		t.Fatal("deleted trace still served")
+	}
+	if err := st.GC(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 2 || stats.Segments != 1 || stats.Classes != 1 {
+		t.Fatalf("after gc: stats = %+v, want 2 runs, 1 segment, 1 class", stats)
+	}
+	for _, i := range []int{0, 2} {
+		got, err := st.GetBytes(hashes[i])
+		if err != nil {
+			t.Fatalf("run %d after gc: %v", i, err)
+		}
+		if !bytes.Equal(got, encs[i]) {
+			t.Fatalf("run %d after gc: bytes differ", i)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if err := st.Delete(hashes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.GC(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 0 || stats.Classes != 0 || stats.Segments != 0 {
+		t.Fatalf("after full gc: stats = %+v, want empty store", stats)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "class-") || strings.HasPrefix(e.Name(), "seg-") {
+			t.Fatalf("file %s survived full gc", e.Name())
+		}
+	}
+}
+
+// TestCacheLRU: unpinned traces are evicted in LRU order under budget
+// pressure, pinned traces never are, and hits share the resident decode.
+func TestCacheLRU(t *testing.T) {
+	s := obs.New()
+	corpus.SetObs(s)
+	defer corpus.SetObs(nil)
+
+	var encs [][]byte
+	for run := 0; run < 3; run++ {
+		encs = append(encs, encodeBytes(t, simMerged(t, multiPhaseSrc, 7, run)))
+	}
+	// Budget fits one decoded trace (cost = encoding length).
+	st, err := corpus.Open(t.TempDir(), corpus.Options{CacheBytes: int64(len(encs[0])) + 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var hashes []uint64
+	for _, enc := range encs {
+		h, err := st.IngestBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+
+	t0, err := st.Get(hashes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinned: inserting a second trace overflows the budget but must not
+	// evict the pinned one.
+	t1, err := st.Get(hashes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := st.Get(hashes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != t0 {
+		t.Fatal("pinned trace was not served from cache")
+	}
+	again.Release()
+	if evicts := s.Value(obs.CorpusCacheEvicts); evicts != 0 {
+		t.Fatalf("evicted %d pinned traces", evicts)
+	}
+	// Release both; now the cache holds two evictable traces over budget:
+	// releasing trims to the newest.
+	t1.Release()
+	t0.Release()
+	if hits, misses := s.Value(obs.CorpusCacheHits), s.Value(obs.CorpusCacheMisses); hits != 1 || misses != 2 {
+		t.Fatalf("hit/miss = %d/%d, want 1/2", hits, misses)
+	}
+	if s.Value(obs.CorpusCacheEvicts) == 0 {
+		t.Fatal("no eviction after releasing over-budget traces")
+	}
+	// t0 was released last, so it is the resident one.
+	warm, err := st.Get(hashes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != t0 {
+		t.Fatal("most recently released trace was evicted")
+	}
+	warm.Release()
+	// The evicted trace still works, it just decodes again.
+	cold, err := st.Get(hashes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold == t1 {
+		t.Fatal("evicted trace was served from cache")
+	}
+	cold.Release()
+}
+
+// TestWarmGetNoAllocs: a cache hit is allocation-free — the warm serving
+// path does no decode work at all.
+func TestWarmGetNoAllocs(t *testing.T) {
+	st, err := corpus.Open(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	h, err := st.IngestBytes(encodeBytes(t, simMerged(t, multiPhaseSrc, 7, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := st.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Release()
+	allocs := testing.AllocsPerRun(200, func() {
+		g, err := st.Get(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Get allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCorruptStoreErrors: flipping or truncating store files makes Open or
+// Get fail with an error — never a panic, never silently wrong bytes.
+func TestCorruptStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodeBytes(t, simMerged(t, multiPhaseSrc, 7, 0))
+	h, err := st.IngestBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestBytes(encodeBytes(t, simMerged(t, multiPhaseSrc, 7, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		path := filepath.Join(dir, e.Name())
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < len(orig); pos += 1 + len(orig)/13 {
+			mut := append([]byte(nil), orig...)
+			mut[pos] ^= 0x10
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := corpus.Open(dir, corpus.Options{})
+			if err == nil {
+				got, gerr := st.GetBytes(h)
+				if gerr == nil && !bytes.Equal(got, enc) {
+					t.Fatalf("%s pos %d: corrupt store served wrong bytes", e.Name(), pos)
+				}
+				st.Close()
+			}
+		}
+		for _, cut := range []int{0, 3, len(orig) / 2, len(orig) - 1} {
+			if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := corpus.Open(dir, corpus.Options{})
+			if err == nil {
+				if got, gerr := st.GetBytes(h); gerr == nil && !bytes.Equal(got, enc) {
+					t.Fatalf("%s cut %d: truncated store served wrong bytes", e.Name(), cut)
+				}
+				st.Close()
+			}
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package corpus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// FuzzCorpusRoundTrip feeds arbitrary bytes through the full store cycle and
+// checks the corpus's two load-bearing properties:
+//
+//  1. Byte identity: whatever IngestBytes accepts — well-formed v1 traces
+//     that take the delta path, and arbitrary junk that falls back to full
+//     storage — GetBytes must reproduce exactly, both from the live store
+//     and after a close/reopen cycle (sealed-segment read path).
+//  2. Robustness: no input may panic the store; Get on undecodable content
+//     returns an error.
+//
+// The seed corpus holds canonical encodings of the workload fixtures (which
+// exercise split/delta/patch/join end to end) plus short corrupt prefixes.
+func FuzzCorpusRoundTrip(f *testing.F) {
+	for _, ranks := range []int{2, 7} {
+		f.Add(encodeBytes(f, simMerged(f, multiPhaseSrc, ranks, 0)))
+	}
+	enc := encodeBytes(f, simMerged(f, `func main() { barrier(); }`, 2, 1))
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)/3] ^= 0x40
+	f.Add(mut)
+	f.Add([]byte("CYPR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		st, err := corpus.Open(dir, corpus.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := st.IngestBytes(data)
+		if err != nil {
+			// Ingest may only fail on I/O problems, not on input shape.
+			t.Fatalf("ingest rejected input: %v", err)
+		}
+		got, err := st.GetBytes(h)
+		if err != nil {
+			t.Fatalf("GetBytes: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("GetBytes differs from ingested bytes")
+		}
+		if tr, err := st.Get(h); err == nil {
+			tr.Release()
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		st, err = corpus.Open(dir, corpus.Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		got, err = st.GetBytes(h)
+		if err != nil {
+			t.Fatalf("GetBytes after reopen: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("GetBytes differs after reopen")
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

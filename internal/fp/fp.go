@@ -13,6 +13,8 @@
 // merge") for the losslessness argument.
 package fp
 
+import "encoding/binary"
+
 // Hash is an accumulating 64-bit fingerprint state. Fold values with Word,
 // Int, and Bool; the zero value is NOT a valid initial state — use New.
 type Hash uint64
@@ -43,4 +45,23 @@ func (h Hash) Bool(b bool) Hash {
 		return h.Word(1)
 	}
 	return h.Word(0)
+}
+
+// Bytes folds a byte slice into the state: 8-byte little-endian words, a
+// zero-padded tail word, and finally the length, so slices that differ only
+// in trailing zero bytes (or in length) still diverge. One Bytes call folds
+// one logical value — chaining calls over a split buffer is not equivalent to
+// folding the concatenation, by design (each call seals its length).
+func (h Hash) Bytes(b []byte) Hash {
+	n := len(b)
+	for len(b) >= 8 {
+		h = h.Word(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		h = h.Word(binary.LittleEndian.Uint64(tail[:]))
+	}
+	return h.Word(uint64(n))
 }

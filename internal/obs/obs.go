@@ -98,6 +98,19 @@ const (
 	SimBarrierStalls     // rank visits that reached the window barrier with no progress
 	SimMatchDepthPeak    // peak per-key match-table depth (gauge)
 
+	// Content-addressed corpus (internal/corpus).
+	CorpusIngests      // traces offered to Store.Ingest
+	CorpusDuplicates   // ingests answered by an existing content hash
+	CorpusDeltaRuns    // runs stored as payload deltas against a class rep
+	CorpusFullRuns     // runs stored as full standalone encodings
+	CorpusClasses      // structural classes created
+	CorpusLogicalBytes // standalone-encoding bytes represented by the corpus
+	CorpusStoredBytes  // run-record body bytes actually written
+	CorpusGets         // Store.Get / GetBytes calls
+	CorpusCacheHits    // gets served by the decoded-trace cache
+	CorpusCacheMisses  // gets that had to reconstruct and decode
+	CorpusCacheEvicts  // decoded traces evicted from the cache
+
 	NumCounters // sentinel; must be last
 )
 
@@ -158,6 +171,17 @@ var counterNames = [NumCounters]string{
 	SimWindows:           "sim_windows",
 	SimBarrierStalls:     "sim_barrier_stalls",
 	SimMatchDepthPeak:    "sim_match_table_peak",
+	CorpusIngests:        "corpus_ingests",
+	CorpusDuplicates:     "corpus_duplicates",
+	CorpusDeltaRuns:      "corpus_delta_runs",
+	CorpusFullRuns:       "corpus_full_runs",
+	CorpusClasses:        "corpus_classes",
+	CorpusLogicalBytes:   "corpus_logical_bytes",
+	CorpusStoredBytes:    "corpus_stored_bytes",
+	CorpusGets:           "corpus_gets",
+	CorpusCacheHits:      "corpus_cache_hits",
+	CorpusCacheMisses:    "corpus_cache_misses",
+	CorpusCacheEvicts:    "corpus_cache_evicts",
 }
 
 // String returns the counter's stable snake_case name (the JSON/expvar key).
@@ -190,27 +214,32 @@ const (
 	HistMergePairL6
 	HistMergePairL7
 	HistMergePairL8
+	// Corpus ingest/serve distributions.
+	HistCorpusDeltaPermille // stored body bytes per mille of the standalone encoding
+	HistCorpusGetNS         // wall time per Store.Get (cache hits and misses)
 
 	NumHists // sentinel; must be last
 )
 
 var histNames = [NumHists]string{
-	HistReqOccupancy:    "req_table_occupancy",
-	HistWildcardDepth:   "wildcard_cache_depth",
-	HistSimQueueDepth:   "sim_queue_depth",
-	HistSimWindowEvents: "sim_window_events",
-	HistSimWindowNS:     "sim_window_ns",
-	HistIOFrameBytes:    "io_frame_bytes",
-	HistIOCompressNS:    "io_compress_ns",
-	HistIOInflateNS:     "io_inflate_ns",
-	HistMergePairL1:     "merge_pair_ns_l1",
-	HistMergePairL2:     "merge_pair_ns_l2",
-	HistMergePairL3:     "merge_pair_ns_l3",
-	HistMergePairL4:     "merge_pair_ns_l4",
-	HistMergePairL5:     "merge_pair_ns_l5",
-	HistMergePairL6:     "merge_pair_ns_l6",
-	HistMergePairL7:     "merge_pair_ns_l7",
-	HistMergePairL8:     "merge_pair_ns_l8",
+	HistReqOccupancy:        "req_table_occupancy",
+	HistWildcardDepth:       "wildcard_cache_depth",
+	HistSimQueueDepth:       "sim_queue_depth",
+	HistSimWindowEvents:     "sim_window_events",
+	HistSimWindowNS:         "sim_window_ns",
+	HistIOFrameBytes:        "io_frame_bytes",
+	HistIOCompressNS:        "io_compress_ns",
+	HistIOInflateNS:         "io_inflate_ns",
+	HistMergePairL1:         "merge_pair_ns_l1",
+	HistMergePairL2:         "merge_pair_ns_l2",
+	HistMergePairL3:         "merge_pair_ns_l3",
+	HistMergePairL4:         "merge_pair_ns_l4",
+	HistMergePairL5:         "merge_pair_ns_l5",
+	HistMergePairL6:         "merge_pair_ns_l6",
+	HistMergePairL7:         "merge_pair_ns_l7",
+	HistMergePairL8:         "merge_pair_ns_l8",
+	HistCorpusDeltaPermille: "corpus_delta_permille",
+	HistCorpusGetNS:         "corpus_get_ns",
 }
 
 // String returns the histogram's stable snake_case name.

@@ -29,6 +29,7 @@ import (
 
 	cypress "repro"
 	"repro/internal/merge"
+	ftrace "repro/internal/obs/trace"
 )
 
 func fail(err error) {
@@ -45,9 +46,15 @@ func main() {
 	dir := flag.String("dir", "", "corpus directory (created on first add)")
 	cacheBytes := flag.Int64("cache", 0, "decoded-trace cache budget in bytes (0 = default)")
 	workers := flag.Int("par", 0, "frame codec workers (0 = default)")
+	traceFile := flag.String("trace", "", "capture a flight-recorder timeline of the command and write Chrome trace-event JSON to this file (load in Perfetto)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
 		usage()
+	}
+	if *traceFile != "" {
+		rec := ftrace.New(0)
+		cypress.EnableTrace(rec)
+		defer writeTraceFile(rec, *traceFile)
 	}
 
 	c, err := cypress.OpenCorpus(*dir, cypress.CorpusOptions{CacheBytes: *cacheBytes, Workers: *workers})
@@ -162,4 +169,20 @@ func parseHash(s string) cypress.TraceID {
 		fail(fmt.Errorf("bad hash %q: want 16 hex digits", s))
 	}
 	return h
+}
+
+// writeTraceFile exports the flight recorder as Chrome trace-event JSON.
+func writeTraceFile(rec *ftrace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypressarchive: -trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteChromeJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "cypressarchive: -trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cypressarchive: flight-recorder trace: %d events (%d dropped) -> %s\n",
+		rec.Total(), rec.Drops(), path)
 }

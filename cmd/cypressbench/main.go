@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 func main() {
@@ -46,11 +47,15 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	benchjson := flag.String("benchjson", "", "run component microbenchmarks and write JSON results to this file ('-' = stdout)")
+	compare := flag.String("compare", "", "diff a fresh microbenchmark run against this baseline JSON (BENCH_pr*.json or an earlier -benchjson report)")
+	threshold := flag.Float64("threshold", 0.25, "ns/op regression threshold for -compare, as a fraction (0.25 = +25%)")
+	strict := flag.Bool("compare-strict", false, "exit non-zero when -compare finds regressions (default report-only)")
+	traceFile := flag.String("trace", "", "capture a flight-recorder timeline of the run and write Chrome trace-event JSON to this file (load in Perfetto; with -exp none and no -benchjson, captures one traced pipeline pass)")
 	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := mainErr(*exp, *quick, *full, *workers, *par, *cpuprofile, *memprofile, *benchjson, *stats, *debugAddr); err != nil {
+	if err := mainErr(*exp, *quick, *full, *workers, *par, *cpuprofile, *memprofile, *benchjson, *compare, *threshold, *strict, *traceFile, *stats, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "cypressbench:", err)
 		os.Exit(1)
 	}
@@ -58,13 +63,21 @@ func main() {
 
 // mainErr is the flag-free body, separated so deferred profile writers run
 // before the process exits (os.Exit skips defers).
-func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, memprofile, benchjson string, stats bool, debugAddr string) error {
+func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, memprofile, benchjson, compare string, threshold float64, strict bool, traceFile string, stats bool, debugAddr string) error {
+	var rec *ftrace.Recorder
+	tracedRun := false // a pipeline stage ran with the recorder attached
+	if traceFile != "" {
+		rec = ftrace.New(0)
+		bench.EnableTrace(rec)
+		defer bench.EnableTrace(nil)
+		defer func() { writeTraceFile(rec, traceFile) }()
+	}
 	if stats || debugAddr != "" {
 		sink := obs.New()
 		bench.EnableObs(sink)
 		defer bench.EnableObs(nil)
 		if debugAddr != "" {
-			srv, err := obs.ServeDebug(debugAddr, sink)
+			srv, err := obs.ServeDebugTrace(debugAddr, sink, rec)
 			if err != nil {
 				return err
 			}
@@ -104,26 +117,52 @@ func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, me
 		}()
 	}
 
-	if benchjson != "" {
-		out := os.Stdout
-		if benchjson != "-" {
-			f, err := os.Create(benchjson)
-			if err != nil {
+	if benchjson != "" || compare != "" {
+		fmt.Fprintln(os.Stderr, "cypressbench: running component microbenchmarks...")
+		rep, err := bench.RunMicroReport()
+		if err != nil {
+			return err
+		}
+		tracedRun = true // RunMicroReport's observed pass runs the pipeline
+		if benchjson != "" {
+			out := os.Stdout
+			if benchjson != "-" {
+				f, err := os.Create(benchjson)
+				if err != nil {
+					return fmt.Errorf("-benchjson: %w", err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := bench.WriteMicroReport(out, rep); err != nil {
 				return fmt.Errorf("-benchjson: %w", err)
 			}
-			defer f.Close()
-			out = f
 		}
-		fmt.Fprintln(os.Stderr, "cypressbench: running component microbenchmarks...")
-		if err := bench.WriteMicroJSON(out); err != nil {
-			return fmt.Errorf("-benchjson: %w", err)
+		if compare != "" {
+			base, err := bench.ParseBenchFile(compare)
+			if err != nil {
+				return fmt.Errorf("-compare: %w", err)
+			}
+			regressed, err := bench.Diff(base, bench.PointsOf(rep.Benchmarks)).WriteText(os.Stdout, threshold, 0)
+			if err != nil {
+				return fmt.Errorf("-compare: %w", err)
+			}
+			if regressed > 0 && strict {
+				return fmt.Errorf("-compare: %d benchmark(s) regressed beyond +%.0f%%", regressed, threshold*100)
+			}
 		}
 		if exp == "all" {
-			// -benchjson alone should not drag in the full experiment suite.
+			// -benchjson/-compare alone should not drag in the experiments.
 			exp = "none"
 		}
 	}
 	if exp == "none" {
+		if rec.Enabled() && !tracedRun {
+			// Nothing else exercised the pipeline; capture one traced pass so
+			// -trace alone still yields a full timeline.
+			fmt.Fprintln(os.Stderr, "cypressbench: capturing one traced pipeline pass...")
+			return bench.TracedPipeline(rec)
+		}
 		return nil
 	}
 
@@ -151,4 +190,20 @@ func mainErr(exp string, quick, full bool, workers int, par bool, cpuprofile, me
 		return err
 	}
 	return run(e)
+}
+
+// writeTraceFile exports the flight recorder as Chrome trace-event JSON.
+func writeTraceFile(rec *ftrace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypressbench: -trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteChromeJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "cypressbench: -trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cypressbench: flight-recorder trace: %d events (%d dropped) -> %s\n",
+		rec.Total(), rec.Drops(), path)
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/merge"
 	"repro/internal/mpisim"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/replay"
 	"repro/internal/simmpi"
 	"repro/internal/trace"
@@ -50,17 +51,24 @@ func main() {
 	par := flag.Int("par", 1, "worker bound for every parallel phase (0 = GOMAXPROCS): CYPB inflate pipelining, -stream rank fan-out, skeleton preparation, and the -predict LogGP simulation; results are identical at every value")
 	limit := flag.Int("limit", 50, "max events to print per rank (0 = all)")
 	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
+	traceFile := flag.String("trace", "", "capture a flight-recorder timeline of the run and write Chrome trace-event JSON to this file (load in Perfetto)")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cypressreplay [flags] trace.cyp")
 		os.Exit(2)
 	}
+	var rec *ftrace.Recorder
+	if *traceFile != "" {
+		rec = ftrace.New(0)
+		cypress.EnableTrace(rec)
+		defer writeTraceFile(rec, *traceFile)
+	}
 	if *stats || *debugAddr != "" {
 		sink := obs.New()
 		cypress.EnableObs(sink)
 		if *debugAddr != "" {
-			srv, err := obs.ServeDebug(*debugAddr, sink)
+			srv, err := obs.ServeDebugTrace(*debugAddr, sink, rec)
 			if err != nil {
 				fail(err)
 			}
@@ -249,4 +257,20 @@ func predictRun(m *merge.Merged, stream bool, par int) (simmpi.Result, error) {
 		seqs[r] = seq
 	}
 	return simmpi.SimulatePar(seqs, mpisim.DefaultParams(), par)
+}
+
+// writeTraceFile exports the flight recorder as Chrome trace-event JSON.
+func writeTraceFile(rec *ftrace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypressreplay: -trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteChromeJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "cypressreplay: -trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cypressreplay: flight-recorder trace: %d events (%d dropped) -> %s\n",
+		rec.Total(), rec.Drops(), path)
 }

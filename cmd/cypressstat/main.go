@@ -31,6 +31,7 @@ import (
 	"repro/internal/merge"
 	"repro/internal/npb"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 func fail(err error) {
@@ -45,8 +46,17 @@ func main() {
 	workload := flag.String("workload", "", "trace a built-in workload in-process instead of reading a file")
 	procs := flag.Int("procs", 8, "ranks for in-process tracing")
 	par := flag.Int("par", 0, "inflate workers for CYPB trace files (0 = default, <0 = inline)")
+	timeline := flag.String("timeline", "", "render a flight-recorder capture (Chrome trace-event JSON from -trace) as a text timeline, then exit")
+	check := flag.Bool("check", false, "with -timeline: validate the capture against the trace-event schema and require a complete (drop-free) capture")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *timeline != "" {
+		if err := renderTimeline(*timeline, *check); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	sink := obs.New()
 	if *debugAddr != "" {
@@ -125,6 +135,30 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// renderTimeline parses a flight-recorder capture file and prints it as a
+// text timeline. With check, the capture is first validated against the
+// Chrome trace-event schema invariants and rejected if any events were
+// dropped to ring wraparound (the CI fixture job runs this mode).
+func renderTimeline(path string, check bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := ftrace.ReadChromeJSON(f)
+	if err != nil {
+		return err
+	}
+	if check {
+		if err := c.Validate(true); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cypressstat: capture valid: %d events, %d categories, 0 drops\n",
+			len(c.Events), len(c.Cats()))
+	}
+	return c.WriteText(os.Stdout)
 }
 
 // fingerprints returns the whole-tree structural fingerprint (the corpus

@@ -19,6 +19,7 @@ import (
 	cypress "repro"
 	"repro/internal/npb"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 func main() {
@@ -30,15 +31,22 @@ func main() {
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
 	hist := flag.Bool("hist", false, "record time histograms instead of mean/stddev")
 	stats := flag.Bool("stats", false, "print the pipeline observability report to stderr at exit")
+	traceFile := flag.String("trace", "", "capture a flight-recorder timeline of the run and write Chrome trace-event JSON to this file (load in Perfetto)")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	var rec *ftrace.Recorder
+	if *traceFile != "" {
+		rec = ftrace.New(0)
+		cypress.EnableTrace(rec)
+		defer writeTraceFile(rec, *traceFile)
+	}
 	var sink *obs.Sink
 	if *stats || *debugAddr != "" {
 		sink = obs.New()
 	}
 	if *debugAddr != "" {
-		srv, err := obs.ServeDebug(*debugAddr, sink)
+		srv, err := obs.ServeDebugTrace(*debugAddr, sink, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cypresstrace:", err)
 			os.Exit(1)
@@ -126,4 +134,20 @@ func main() {
 	}
 	fmt.Printf("compressed trace: %d bytes -> %s (%.1f bytes/event)\n",
 		n, where, float64(n)/float64(res.Merged.EventCount))
+}
+
+// writeTraceFile exports the flight recorder as Chrome trace-event JSON.
+func writeTraceFile(rec *ftrace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypresstrace: -trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteChromeJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "cypresstrace: -trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cypresstrace: flight-recorder trace: %d events (%d dropped) -> %s\n",
+		rec.Total(), rec.Drops(), path)
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/mpisim"
 	"repro/internal/npb"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/replay"
 	"repro/internal/simmpi"
 	"repro/internal/timestat"
@@ -382,6 +383,21 @@ func EnableObs(s *obs.Sink) {
 	encpool.SetObs(s)
 	blockio.SetObs(s)
 	corpus.SetObs(s)
+}
+
+// EnableTrace installs r as the process-wide flight recorder of every
+// pipeline layer: compressor finishes and wildcard resolutions, merge pairs,
+// codec encode/decode, blockio frame workers, corpus ingest/get, replay
+// skeleton/memo events, and simulator windows. Passing nil disables
+// recording everywhere. Call at startup, before the pipeline runs — the
+// recorders are plain package variables, read without synchronization. Export
+// the capture afterwards with r.WriteChromeJSON (Perfetto) or r.WriteText.
+func EnableTrace(r *ftrace.Recorder) {
+	ctt.SetTrace(r)
+	merge.SetTrace(r)
+	simmpi.SetTrace(r)
+	blockio.SetTrace(r)
+	corpus.SetTrace(r)
 }
 
 // TraceID is the content address of a trace in a corpus: a fingerprint of

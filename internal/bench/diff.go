@@ -1,0 +1,206 @@
+package bench
+
+// Bench regression diffing: parse two benchmark JSON documents — a fresh
+// `cypressbench -benchjson` MicroReport or a checked-in BENCH_pr*.json
+// trajectory file, both schemas accepted — match benchmarks by name, and
+// report per-benchmark ns/op and allocs/op deltas against a threshold. This
+// is the repo's first automated perf-regression signal: scripts/benchdiff.go
+// and `cypressbench -compare` are thin CLIs over this package.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// BenchPoint is one benchmark's measurements, schema-normalized.
+type BenchPoint struct {
+	Name        string
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+// benchEntry covers both on-disk schemas for one benchmark element:
+//   - MicroReport v2 / v1: {"name", "ns_per_op", "allocs_per_op", ...} flat
+//   - BENCH_pr* trajectory: {"name", "before": {...}, "after": {...}} nested
+//
+// When an "after" object is present it wins (the trajectory files record the
+// PR's end state there); otherwise the flat fields are used.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	After       *struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	} `json:"after"`
+}
+
+func (e *benchEntry) point() BenchPoint {
+	p := BenchPoint{Name: e.Name, NsPerOp: e.NsPerOp, AllocsPerOp: e.AllocsPerOp, BytesPerOp: e.BytesPerOp}
+	if e.After != nil {
+		p.NsPerOp = e.After.NsPerOp
+		p.AllocsPerOp = e.After.AllocsPerOp
+		p.BytesPerOp = e.After.BytesPerOp
+	}
+	return p
+}
+
+// ParseBenchJSON reads one benchmark document in any of the three layouts
+// the repo has shipped: a v1 bare array of results, a v2 MicroReport with a
+// "benchmarks" array, or a BENCH_pr* trajectory (also a "benchmarks" array,
+// with nested before/after). Returns the normalized points keyed by name.
+func ParseBenchJSON(r io.Reader) (map[string]BenchPoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var entries []benchEntry
+	var doc struct {
+		Benchmarks []benchEntry `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Benchmarks != nil {
+		entries = doc.Benchmarks
+	} else if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("bench: unrecognized benchmark JSON: %w", err)
+	}
+	out := make(map[string]BenchPoint, len(entries))
+	for i := range entries {
+		if entries[i].Name == "" {
+			return nil, fmt.Errorf("bench: benchmark entry %d has no name", i)
+		}
+		out[entries[i].Name] = entries[i].point()
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: no benchmarks in document")
+	}
+	return out, nil
+}
+
+// ParseBenchFile is ParseBenchJSON over a file path.
+func ParseBenchFile(path string) (map[string]BenchPoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pts, err := ParseBenchJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, nil
+}
+
+// PointsOf normalizes an in-process micro run for diffing, keyed by name.
+func PointsOf(results []MicroResult) map[string]BenchPoint {
+	out := make(map[string]BenchPoint, len(results))
+	for _, r := range results {
+		out[r.Name] = BenchPoint{Name: r.Name, NsPerOp: r.NsPerOp, AllocsPerOp: r.AllocsPerOp, BytesPerOp: r.BytesPerOp}
+	}
+	return out
+}
+
+// DiffEntry is one matched benchmark's delta.
+type DiffEntry struct {
+	Name       string
+	Base, Cur  BenchPoint
+	NsRatio    float64 // cur/base ns_per_op (1.0 = unchanged; +Inf when base 0)
+	AllocDelta int64   // cur - base allocs_per_op
+}
+
+// Regressed reports whether the entry breaches the thresholds: ns/op grew by
+// more than nsFrac (e.g. 0.25 = +25%) or allocs/op grew at all beyond
+// allocSlack.
+func (d *DiffEntry) Regressed(nsFrac float64, allocSlack int64) bool {
+	return d.NsRatio > 1+nsFrac || d.AllocDelta > allocSlack
+}
+
+// BenchDiff is the comparison of a current run against a baseline.
+type BenchDiff struct {
+	Matched  []DiffEntry // name-matched benchmarks, sorted by worst ns ratio
+	BaseOnly []string    // in baseline but missing from the current run
+	CurOnly  []string    // new benchmarks with no baseline
+}
+
+// Diff matches cur against base by benchmark name.
+func Diff(base, cur map[string]BenchPoint) *BenchDiff {
+	d := &BenchDiff{}
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			d.BaseOnly = append(d.BaseOnly, name)
+			continue
+		}
+		e := DiffEntry{Name: name, Base: b, Cur: c, AllocDelta: c.AllocsPerOp - b.AllocsPerOp}
+		switch {
+		case b.NsPerOp > 0:
+			e.NsRatio = c.NsPerOp / b.NsPerOp
+		case c.NsPerOp == 0:
+			e.NsRatio = 1
+		default:
+			e.NsRatio = math.Inf(1)
+		}
+		d.Matched = append(d.Matched, e)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			d.CurOnly = append(d.CurOnly, name)
+		}
+	}
+	sort.Slice(d.Matched, func(i, j int) bool {
+		if d.Matched[i].NsRatio != d.Matched[j].NsRatio {
+			return d.Matched[i].NsRatio > d.Matched[j].NsRatio
+		}
+		return d.Matched[i].Name < d.Matched[j].Name
+	})
+	sort.Strings(d.BaseOnly)
+	sort.Strings(d.CurOnly)
+	return d
+}
+
+// Regressions returns the matched entries breaching the thresholds.
+func (d *BenchDiff) Regressions(nsFrac float64, allocSlack int64) []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Matched {
+		if e.Regressed(nsFrac, allocSlack) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteText renders the diff as an aligned table, flagging entries beyond
+// the thresholds. Returns the number of regressions.
+func (d *BenchDiff) WriteText(w io.Writer, nsFrac float64, allocSlack int64) (int, error) {
+	regressed := 0
+	if len(d.Matched) > 0 {
+		fmt.Fprintf(w, "%-28s %14s %14s %8s %9s %9s\n",
+			"benchmark", "base ns/op", "cur ns/op", "ratio", "allocs Δ", "")
+		for _, e := range d.Matched {
+			flag := ""
+			if e.Regressed(nsFrac, allocSlack) {
+				flag = "REGRESSED"
+				regressed++
+			} else if e.NsRatio < 1-nsFrac {
+				flag = "improved"
+			}
+			fmt.Fprintf(w, "%-28s %14.1f %14.1f %8.3f %+9d %9s\n",
+				e.Name, e.Base.NsPerOp, e.Cur.NsPerOp, e.NsRatio, e.AllocDelta, flag)
+		}
+	}
+	for _, name := range d.BaseOnly {
+		fmt.Fprintf(w, "%-28s missing from current run\n", name)
+	}
+	for _, name := range d.CurOnly {
+		fmt.Fprintf(w, "%-28s new (no baseline)\n", name)
+	}
+	fmt.Fprintf(w, "%d compared, %d regressions (threshold ns/op +%.0f%%, allocs/op +%d)\n",
+		len(d.Matched), regressed, nsFrac*100, allocSlack)
+	return regressed, nil
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchJSONMicroReport(t *testing.T) {
+	doc := `{
+	  "schema": 2,
+	  "benchmarks": [
+	    {"name": "CompressorEvent", "iterations": 100, "ns_per_op": 250.5, "allocs_per_op": 24, "bytes_per_op": 512},
+	    {"name": "ReplayRank", "ns_per_op": 9000, "allocs_per_op": 0, "bytes_per_op": 0}
+	  ]
+	}`
+	pts, err := ParseBenchJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("parsed %d points, want 2", len(pts))
+	}
+	p := pts["CompressorEvent"]
+	if p.NsPerOp != 250.5 || p.AllocsPerOp != 24 || p.BytesPerOp != 512 {
+		t.Fatalf("flat schema parsed wrong: %+v", p)
+	}
+}
+
+func TestParseBenchJSONTrajectory(t *testing.T) {
+	// BENCH_pr* layout: nested before/after; "after" must win.
+	doc := `{
+	  "benchmarks": [
+	    {"name": "MergeAll1024",
+	     "before": {"ns_per_op": 900000, "allocs_per_op": 5000},
+	     "after":  {"ns_per_op": 450000, "allocs_per_op": 2086, "bytes_per_op": 7}}
+	  ]
+	}`
+	pts, err := ParseBenchJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts["MergeAll1024"]
+	if p.NsPerOp != 450000 || p.AllocsPerOp != 2086 || p.BytesPerOp != 7 {
+		t.Fatalf("nested after not preferred: %+v", p)
+	}
+}
+
+func TestParseBenchJSONBareArray(t *testing.T) {
+	doc := `[{"name": "Encode", "ns_per_op": 10, "allocs_per_op": 1}]`
+	pts, err := ParseBenchJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts["Encode"].NsPerOp != 10 {
+		t.Fatalf("v1 bare array parsed wrong: %+v", pts["Encode"])
+	}
+}
+
+func TestParseBenchJSONRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":   "nope",
+		"empty":      `{"benchmarks": []}`,
+		"unnamed":    `[{"ns_per_op": 10}]`,
+		"wrong kind": `{"benchmarks": 3}`,
+	} {
+		if _, err := ParseBenchJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParseBenchJSON accepted %s", name)
+		}
+	}
+}
+
+// TestParseCheckedInBaseline pins the real BENCH_pr8.json the CI benchdiff
+// job diffs against: it must stay parseable with non-zero measurements.
+func TestParseCheckedInBaseline(t *testing.T) {
+	pts, err := ParseBenchFile(filepath.Join("..", "..", "BENCH_pr8.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("BENCH_pr8.json not present")
+		}
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("baseline parsed to zero benchmarks")
+	}
+	for name, p := range pts {
+		if p.NsPerOp <= 0 {
+			t.Errorf("baseline %s has ns_per_op %f", name, p.NsPerOp)
+		}
+	}
+}
+
+func TestDiffRatiosAndRegressions(t *testing.T) {
+	base := map[string]BenchPoint{
+		"steady":  {Name: "steady", NsPerOp: 100, AllocsPerOp: 5},
+		"slower":  {Name: "slower", NsPerOp: 100, AllocsPerOp: 5},
+		"faster":  {Name: "faster", NsPerOp: 100, AllocsPerOp: 5},
+		"allocs":  {Name: "allocs", NsPerOp: 100, AllocsPerOp: 5},
+		"removed": {Name: "removed", NsPerOp: 100},
+	}
+	cur := map[string]BenchPoint{
+		"steady": {Name: "steady", NsPerOp: 105, AllocsPerOp: 5},
+		"slower": {Name: "slower", NsPerOp: 200, AllocsPerOp: 5},
+		"faster": {Name: "faster", NsPerOp: 40, AllocsPerOp: 5},
+		"allocs": {Name: "allocs", NsPerOp: 100, AllocsPerOp: 9},
+		"added":  {Name: "added", NsPerOp: 7},
+	}
+	d := Diff(base, cur)
+	if len(d.Matched) != 4 {
+		t.Fatalf("matched %d, want 4", len(d.Matched))
+	}
+	// Sorted worst ns ratio first.
+	if d.Matched[0].Name != "slower" || math.Abs(d.Matched[0].NsRatio-2.0) > 1e-9 {
+		t.Fatalf("worst entry = %+v, want slower at 2.0", d.Matched[0])
+	}
+	if got := d.BaseOnly; len(got) != 1 || got[0] != "removed" {
+		t.Fatalf("BaseOnly = %v", got)
+	}
+	if got := d.CurOnly; len(got) != 1 || got[0] != "added" {
+		t.Fatalf("CurOnly = %v", got)
+	}
+	regs := d.Regressions(0.25, 0)
+	if len(regs) != 2 {
+		t.Fatalf("Regressions = %v, want slower and allocs", regs)
+	}
+	names := map[string]bool{}
+	for _, r := range regs {
+		names[r.Name] = true
+	}
+	if !names["slower"] || !names["allocs"] {
+		t.Fatalf("wrong regressions: %v", names)
+	}
+	// Alloc slack forgives the alloc-only regression.
+	if regs := d.Regressions(0.25, 4); len(regs) != 1 || regs[0].Name != "slower" {
+		t.Fatalf("alloc slack not honored: %v", regs)
+	}
+
+	var buf bytes.Buffer
+	n, err := d.WriteText(&buf, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("WriteText regression count = %d, want 2", n)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "improved", "missing from current run", "new (no baseline)", "4 compared, 2 regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := map[string]BenchPoint{"z": {Name: "z", NsPerOp: 0}}
+	cur := map[string]BenchPoint{"z": {Name: "z", NsPerOp: 10}}
+	d := Diff(base, cur)
+	if !math.IsInf(d.Matched[0].NsRatio, 1) {
+		t.Fatalf("zero baseline ratio = %f, want +Inf", d.Matched[0].NsRatio)
+	}
+	base["z"] = BenchPoint{Name: "z", NsPerOp: 0}
+	cur["z"] = BenchPoint{Name: "z", NsPerOp: 0}
+	if d := Diff(base, cur); d.Matched[0].NsRatio != 1 {
+		t.Fatalf("zero/zero ratio = %f, want 1", d.Matched[0].NsRatio)
+	}
+}
+
+func TestPointsOf(t *testing.T) {
+	pts := PointsOf([]MicroResult{{Name: "X", NsPerOp: 5, AllocsPerOp: 2, BytesPerOp: 64}})
+	if p := pts["X"]; p.NsPerOp != 5 || p.AllocsPerOp != 2 || p.BytesPerOp != 64 {
+		t.Fatalf("PointsOf wrong: %+v", p)
+	}
+}

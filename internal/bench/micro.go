@@ -700,6 +700,11 @@ func WriteMicroJSON(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return WriteMicroReport(w, rep)
+}
+
+// WriteMicroReport writes an already-computed report as indented JSON.
+func WriteMicroReport(w io.Writer, rep *MicroReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

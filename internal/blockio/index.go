@@ -153,7 +153,7 @@ func (ix *Index) ReadFrame(ra io.ReaderAt, i int, dst []byte) ([]byte, error) {
 		return nil, fmt.Errorf("blockio: frame %d body: %w", i, err)
 	}
 	f := decFrame{comp: comp, out: dst, usize: int(e.USize), crc: e.CRC}
-	inflateInto(&f)
+	inflateInto(&f, 0)
 	if f.err != nil {
 		return nil, fmt.Errorf("blockio: frame %d: %w", i, f.err)
 	}

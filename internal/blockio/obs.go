@@ -1,6 +1,9 @@
 package blockio
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
+)
 
 // sink is the package's attached metrics sink; nil (the default) disables
 // observation. Wired once at startup (cypress.EnableObs) and only read
@@ -11,3 +14,14 @@ var sink *obs.Sink
 // timing histograms, and (via encpool) flate pool traffic. A nil sink
 // disables observation. Not safe to call concurrently with container use.
 func SetObs(s *obs.Sink) { sink = s }
+
+// rec is the package's attached flight recorder: one deflate span per frame
+// on the "blockio.enc" track and one inflate span per frame on
+// "blockio.dec", with the worker index as the lane so parallel codecs render
+// as real swimlanes. nil (the default) records nothing. Same wiring
+// discipline as sink.
+var rec *ftrace.Recorder
+
+// SetTrace attaches a flight recorder to the blockio package. Not safe to
+// call concurrently with container use.
+func SetTrace(r *ftrace.Recorder) { rec = r }

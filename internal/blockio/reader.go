@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/encpool"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 // ReaderOptions configures a container reader.
@@ -94,7 +95,7 @@ func NewReader(r io.Reader, opt ReaderOptions) (*Reader, error) {
 		d.wg.Add(1 + d.workers)
 		go d.fetcher()
 		for i := 0; i < d.workers; i++ {
-			go d.inflateWorker()
+			go d.inflateWorker(int32(i))
 		}
 	}
 	return d, nil
@@ -178,12 +179,14 @@ func (d *Reader) fetchFrame(f *decFrame) (done bool, err error) {
 }
 
 // inflateInto decompresses f.comp into f.out and verifies length and
-// checksum.
-func inflateInto(f *decFrame) {
+// checksum. lane is the inflate worker's index for the flight-recorder
+// swimlane (0 for inline and random-access decodes).
+func inflateInto(f *decFrame, lane int32) {
 	var t0 time.Time
 	if sink.Enabled() {
 		t0 = time.Now()
 	}
+	tsp := rec.Begin(ftrace.CatIODec, ftrace.NameInflate, lane)
 	f.brd.Reset(f.comp)
 	fr := encpool.GetFlateReader(&f.brd)
 	out, err := readEarned(fr, f.out, f.usize)
@@ -202,6 +205,7 @@ func inflateInto(f *decFrame) {
 	case crc32.ChecksumIEEE(f.out) != f.crc:
 		f.err = fmt.Errorf("blockio: frame checksum mismatch")
 	}
+	tsp.End(int64(len(f.comp)), int64(len(f.out)))
 	if sink.Enabled() {
 		sink.Inc(obs.IOFramesDec)
 		sink.ObserveSince(obs.HistIOInflateNS, t0)
@@ -290,10 +294,10 @@ func (d *Reader) fetcher() {
 	}
 }
 
-func (d *Reader) inflateWorker() {
+func (d *Reader) inflateWorker(lane int32) {
 	defer d.wg.Done()
 	for f := range d.work {
-		inflateInto(f)
+		inflateInto(f, lane)
 		f.ready <- struct{}{}
 	}
 }
@@ -338,7 +342,7 @@ func (d *Reader) next() error {
 		d.fin = true
 		return io.EOF
 	}
-	inflateInto(f)
+	inflateInto(f, 0)
 	if f.err != nil {
 		return f.err
 	}

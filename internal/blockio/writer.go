@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/encpool"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 // WriterOptions configures a container writer.
@@ -95,7 +96,7 @@ func NewWriter(w io.Writer, opt WriterOptions) (*Writer, error) {
 		bw.jobs = make(chan *encJob, opt.Workers)
 		bw.wg.Add(opt.Workers)
 		for i := 0; i < opt.Workers; i++ {
-			go bw.worker()
+			go bw.worker(int32(i))
 		}
 	}
 	return bw, nil
@@ -152,7 +153,7 @@ func (w *Writer) flushFrame() {
 	if w.opt.Workers <= 1 {
 		j := &w.inline
 		j.src = w.buf
-		compressFrame(j)
+		compressFrame(j, 0)
 		w.writeFrame(j)
 		w.buf = j.src[:0]
 		return
@@ -209,12 +210,14 @@ func (w *Writer) writeFrame(j *encJob) {
 }
 
 // compressFrame deflates one frame at the fixed pool level and records its
-// checksum. Runs on pool workers (or inline for Workers <= 1).
-func compressFrame(j *encJob) {
+// checksum. Runs on pool workers (or inline for Workers <= 1); lane is the
+// worker index for the flight-recorder swimlane (0 inline).
+func compressFrame(j *encJob, lane int32) {
 	var t0 time.Time
 	if sink.Enabled() {
 		t0 = time.Now()
 	}
+	tsp := rec.Begin(ftrace.CatIOEnc, ftrace.NameDeflate, lane)
 	j.dst.Reset()
 	fw := encpool.GetFlate(&j.dst)
 	_, werr := fw.Write(j.src)
@@ -225,15 +228,16 @@ func compressFrame(j *encJob) {
 	}
 	j.err = werr
 	j.crc = crc32.ChecksumIEEE(j.src)
+	tsp.End(int64(len(j.src)), int64(j.dst.Len()))
 	if sink.Enabled() {
 		sink.ObserveSince(obs.HistIOCompressNS, t0)
 	}
 }
 
-func (w *Writer) worker() {
+func (w *Writer) worker(lane int32) {
 	defer w.wg.Done()
 	for j := range w.jobs {
-		compressFrame(j)
+		compressFrame(j, lane)
 		j.done <- struct{}{}
 	}
 }

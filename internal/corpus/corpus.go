@@ -51,6 +51,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/merge"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 // File magics. The class/segment/log formats are versioned independently of
@@ -76,6 +77,14 @@ var sink *obs.Sink
 
 // SetObs installs the package-wide metrics sink (nil disables).
 func SetObs(s *obs.Sink) { sink = s }
+
+// frec is the package's attached flight recorder: one span per ingest
+// (annotated full/delta/dup) and per get (annotated hit/miss) on the
+// "corpus" track. nil records nothing.
+var frec *ftrace.Recorder
+
+// SetTrace installs the package-wide flight recorder (nil disables).
+func SetTrace(r *ftrace.Recorder) { frec = r }
 
 // ContentHash is the content address of one ingested trace: a fingerprint
 // fold over its exact standalone v1 encoding bytes.
@@ -470,6 +479,7 @@ func (s *Store) Ingest(m *merge.Merged) (uint64, error) {
 // the unit of identity: Get and GetBytes reproduce them exactly.
 func (s *Store) IngestBytes(enc []byte) (uint64, error) {
 	sink.Inc(obs.CorpusIngests)
+	tsp := frec.Begin(ftrace.CatCorpus, ftrace.NameIngest, 0)
 	h := ContentHash(enc)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -478,6 +488,7 @@ func (s *Store) IngestBytes(enc []byte) (uint64, error) {
 	}
 	if _, ok := s.index[h]; ok {
 		sink.Inc(obs.CorpusDuplicates)
+		tsp.End(int64(len(enc)), ftrace.IngestDup)
 		return h, nil
 	}
 
@@ -516,11 +527,14 @@ func (s *Store) IngestBytes(enc []byte) (uint64, error) {
 	}
 	s.index[h] = loc
 	s.addAccounting(loc)
+	mode := int64(ftrace.IngestFull)
 	if rec.flags&flagDelta != 0 {
 		sink.Inc(obs.CorpusDeltaRuns)
+		mode = ftrace.IngestDelta
 	} else {
 		sink.Inc(obs.CorpusFullRuns)
 	}
+	tsp.End(int64(len(enc)), mode)
 	sink.Add(obs.CorpusLogicalBytes, int64(len(enc)))
 	sink.Add(obs.CorpusStoredBytes, int64(len(rec.body)))
 	if len(enc) > 0 {
@@ -642,12 +656,14 @@ func (s *Store) Get(hash uint64) (*Trace, error) {
 	if sink != nil {
 		t0 = time.Now()
 	}
+	tsp := frec.Begin(ftrace.CatCorpus, ftrace.NameCorpusGet, 0)
 	if t, ok := s.cache.Acquire(hash); ok {
 		sink.Inc(obs.CorpusGets)
 		sink.Inc(obs.CorpusCacheHits)
 		if sink != nil {
 			sink.Observe(obs.HistCorpusGetNS, time.Since(t0).Nanoseconds())
 		}
+		tsp.End(1, t.cost)
 		return t, nil
 	}
 	sink.Inc(obs.CorpusCacheMisses)
@@ -663,6 +679,7 @@ func (s *Store) Get(hash uint64) (*Trace, error) {
 	if sink != nil {
 		sink.Observe(obs.HistCorpusGetNS, time.Since(t0).Nanoseconds())
 	}
+	tsp.End(0, int64(len(enc)))
 	return t, nil
 }
 

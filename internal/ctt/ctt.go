@@ -19,6 +19,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/lang"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/stride"
 	"repro/internal/timestat"
 	"repro/internal/trace"
@@ -524,6 +525,8 @@ func (c *Compressor) resolveCompletion(ev *trace.Event) {
 			cached.Peer = int(ev.ReqSrcs[i])
 			leaf := c.tree.ByGID[cached.GID]
 			c.tal.wildResolved++
+			rec.Instant(ftrace.CatCompress, ftrace.NameWildcard,
+				int32(c.rank), int64(cached.GID), int64(c.reqs.wildLive))
 			c.record(leaf, &cached)
 		}
 		c.reqs.del(id)
@@ -627,6 +630,7 @@ func (c *Compressor) Finish() *RankCTT {
 	}
 	sp := c.obs.Start(obs.StageFinish)
 	defer sp.End()
+	tsp := rec.Begin(ftrace.CatCompress, ftrace.NameFinish, int32(c.rank))
 	exec := 0
 	for i := range c.data {
 		d := &c.data[i]
@@ -648,6 +652,7 @@ func (c *Compressor) Finish() *RankCTT {
 		}
 	}
 	c.flushTally()
+	tsp.End(c.events, int64(exec))
 	return &RankCTT{
 		Rank:       c.rank,
 		Tree:       c.tree,

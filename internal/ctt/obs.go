@@ -1,0 +1,17 @@
+package ctt
+
+import (
+	ftrace "repro/internal/obs/trace"
+)
+
+// rec is the package's attached flight recorder: one span per rank Finish on
+// the "compress" track (lane = rank) and one instant per resolved wildcard
+// receive. nil (the default) records nothing. Unlike the metrics sink —
+// which is per-compressor so each rank can tally locally — the recorder is a
+// package variable wired once at startup (cypress.EnableTrace), matching the
+// other pipeline layers.
+var rec *ftrace.Recorder
+
+// SetTrace attaches a flight recorder to the compressor layer. Not safe to
+// call concurrently with running compressors.
+func SetTrace(r *ftrace.Recorder) { rec = r }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/ctt"
 	"repro/internal/fp"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/rankset"
 	"repro/internal/stride"
 	"repro/internal/timestat"
@@ -321,8 +322,13 @@ func pairEsc(a, b *Merged) (_ *Merged, escaped bool, _ error) {
 	a.noRel = noRel
 	st := mergeState{noRel: noRel, fpOn: fingerprintEnabled && !noRel}
 	sink.Inc(obs.MergePairs)
-	if st.fpOn && a.uniform && b.uniform && a.treeOK && b.treeOK &&
-		a.treeRel == b.treeRel && a.groups == b.groups {
+	ranks := a.NumRanks + b.NumRanks
+	// Lane = reduction depth (log2 of the merged span), so Perfetto renders
+	// the reduction tree as one swimlane per level.
+	tsp := rec.Begin(ftrace.CatMerge, ftrace.NamePair, int32(bits.Len(uint(ranks))-1))
+	treeFast := st.fpOn && a.uniform && b.uniform && a.treeOK && b.treeOK &&
+		a.treeRel == b.treeRel && a.groups == b.groups
+	if treeFast {
 		sink.Inc(obs.MergeTreeFastHits)
 		st.pairFast(a, b)
 	} else {
@@ -332,6 +338,14 @@ func pairEsc(a, b *Merged) (_ *Merged, escaped bool, _ error) {
 		}
 	}
 	st.flush()
+	path := int64(ftrace.PairPathWalk)
+	switch {
+	case treeFast:
+		path = ftrace.PairPathTreeFast
+	case st.walks == 0:
+		path = ftrace.PairPathFP
+	}
+	tsp.End(int64(ranks), path)
 	if st.dirty {
 		a.refreshSummary()
 	}

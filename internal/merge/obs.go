@@ -1,6 +1,9 @@
 package merge
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
+)
 
 // sink is the package's attached metrics sink. nil (the default) disables
 // observation. It is wired once at startup via SetObs; the reduction's worker
@@ -11,6 +14,23 @@ var sink *obs.Sink
 // streamer counters). Call before starting a merge; a nil sink disables
 // observation. Not safe to call concurrently with a running reduction.
 func SetObs(s *obs.Sink) { sink = s }
+
+// rec is the package's attached flight recorder (merge-pair spans on the
+// "merge" track, codec spans on "codec", skeleton/memo events on "replay").
+// nil (the default) records nothing. Same wiring discipline as sink.
+var rec *ftrace.Recorder
+
+// SetTrace attaches a flight recorder to the merge package. Call before
+// starting a merge; nil disables recording. Not safe to call concurrently
+// with a running reduction.
+func SetTrace(r *ftrace.Recorder) { rec = r }
+
+// NameMemoHit arg1 annotations: which memo level answered a replay class
+// lookup.
+const (
+	memoHitRank  = 0 // the rank's own cached class pointer
+	memoHitClass = 1 // a structural class first resolved by another rank
+)
 
 // flush folds the mergeState's locally-accumulated per-Pair tallies into the
 // sink in one batch. The hot entry loops bump plain int64 fields — no atomics,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ctt"
 	"repro/internal/encpool"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/rankset"
 	"repro/internal/stride"
 	"repro/internal/timestat"
@@ -74,6 +75,7 @@ func (w *writer) runs(rs []stride.Run) {
 func (m *Merged) Encode(out io.Writer) (int64, error) {
 	sp := sink.Start(obs.StageEncode)
 	defer sp.End()
+	tsp := rec.Begin(ftrace.CatCodec, ftrace.NameEncode, 0)
 	cw := &countingWriter{w: out}
 	bw := encpool.GetBufio(cw)
 	defer encpool.PutBufio(bw)
@@ -123,6 +125,7 @@ func (m *Merged) Encode(out io.Writer) (int64, error) {
 		sink.Add(obs.EncBytesCST, int64(treeBuf.Len()))
 		sink.Add(obs.EncBytesRecords, w.n-preEntries)
 	}
+	tsp.End(cw.n, int64(m.NumRanks))
 	return cw.n, nil
 }
 
@@ -396,6 +399,7 @@ func Decode(in io.Reader) (*Merged, error) {
 func DecodePar(in io.Reader, workers int) (*Merged, error) {
 	sp := sink.Start(obs.StageDecode)
 	defer sp.End()
+	tsp := rec.Begin(ftrace.CatCodec, ftrace.NameDecode, 0)
 	if workers == 0 {
 		workers = defaultIOWorkers()
 	}
@@ -422,6 +426,7 @@ func DecodePar(in io.Reader, workers int) (*Merged, error) {
 	if err := sn.Finish(); err != nil {
 		return nil, err
 	}
+	tsp.End(int64(len(m.Entries)), int64(m.EventCount))
 	return m, nil
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/ctt"
 	"repro/internal/fp"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/replay"
 	"repro/internal/stride"
 	"repro/internal/trace"
@@ -198,6 +199,7 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 	if c := s.byRank[rank]; c != nil {
 		s.mu.Unlock()
 		sink.Inc(obs.ReplayRankMemoHits)
+		rec.Instant(ftrace.CatReplay, ftrace.NameMemoHit, 0, int64(rank), memoHitRank)
 		return c, false, nil
 	}
 	s.mu.Unlock()
@@ -211,6 +213,7 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 		s.byRank[rank] = c
 		s.mu.Unlock()
 		sink.Inc(obs.ReplayClassReuses)
+		rec.Instant(ftrace.CatReplay, ftrace.NameMemoHit, 0, int64(rank), memoHitClass)
 		return c, false, nil
 	}
 	s.mu.Unlock()
@@ -221,7 +224,9 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 	// duplicate — correctness is unaffected (both walks produce equal steps).
 	view := &Resolved{tree: s.m.Tree, data: sc.data, rank: rank}
 	bsp := sink.Start(obs.StageSkeleton)
+	tsp := rec.Begin(ftrace.CatReplay, ftrace.NameSkeleton, 0)
 	steps, err := replay.Skeleton(view, rank, emit)
+	tsp.End(int64(rank), int64(len(steps)))
 	bsp.End()
 	sink.Inc(obs.ReplaySkeletonBuilds)
 	if err != nil {

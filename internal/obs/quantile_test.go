@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEstimateEmpty(t *testing.T) {
+	var counts [HistBuckets]int64
+	if got := quantileEstimate(&counts, 0, 0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %f, want 0", got)
+	}
+}
+
+func TestQuantileEstimateZerosOnly(t *testing.T) {
+	var counts [HistBuckets]int64
+	counts[0] = 50
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := quantileEstimate(&counts, 50, q); got != 0 {
+			t.Fatalf("all-zero histogram q=%.2f = %f, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileEstimateSingleBucket(t *testing.T) {
+	// 100 observations of value 5 all land in bucket 3 (4..7); every
+	// quantile must interpolate inside that bucket's band.
+	var counts [HistBuckets]int64
+	counts[bucketOf(5)] = 100
+	lower, upper := float64(BucketUpper(2)), float64(BucketUpper(3))
+	prev := 0.0
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := quantileEstimate(&counts, 100, q)
+		if got <= lower || got > upper {
+			t.Errorf("q=%.2f = %f outside bucket band (%f, %f]", q, got, lower, upper)
+		}
+		if got < prev {
+			t.Errorf("quantiles not monotonic: q=%.2f is %f after %f", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileEstimateUniform(t *testing.T) {
+	// Uniform 0..99: estimates carry one-bucket (factor of two) resolution,
+	// so each quantile must land in the band of the bucket holding its true
+	// order statistic.
+	var counts [HistBuckets]int64
+	for v := int64(0); v < 100; v++ {
+		counts[bucketOf(v)]++
+	}
+	for _, tc := range []struct {
+		q    float64
+		true int64 // exact order statistic of uniform 0..99
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}} {
+		got := quantileEstimate(&counts, 100, tc.q)
+		b := bucketOf(tc.true)
+		lower, upper := float64(BucketUpper(b-1)), float64(BucketUpper(b))
+		if got < lower || got > upper {
+			t.Errorf("q=%.2f = %f, want within (%f, %f] around true value %d",
+				tc.q, got, lower, upper, tc.true)
+		}
+	}
+}
+
+func TestQuantileEstimateLastBucket(t *testing.T) {
+	// The unbounded last bucket must interpolate toward twice its lower
+	// bound, not toward the sentinel 2^62 upper edge.
+	var counts [HistBuckets]int64
+	counts[HistBuckets-1] = 10
+	lower := float64(BucketUpper(HistBuckets - 2))
+	got := quantileEstimate(&counts, 10, 0.99)
+	if got < lower || got > 2*lower {
+		t.Fatalf("last-bucket p99 = %g, want within [%g, %g]", got, lower, 2*lower)
+	}
+}
+
+func TestReportQuantilesInOutputs(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		s.Observe(HistReqOccupancy, int64(i))
+	}
+	r := s.Report()
+	var hs *HistStats
+	for i := range r.Histograms {
+		if r.Histograms[i].Count == 200 {
+			hs = &r.Histograms[i]
+		}
+	}
+	if hs == nil {
+		t.Fatal("observed histogram missing from report")
+	}
+	if !(hs.P50 > 0 && hs.P50 <= hs.P95 && hs.P95 <= hs.P99) {
+		t.Fatalf("quantiles not ordered: p50=%f p95=%f p99=%f", hs.P50, hs.P95, hs.P99)
+	}
+
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(txt.String(), col) {
+			t.Errorf("WriteText missing %s column:\n%s", col, txt.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(js.String(), key) {
+			t.Errorf("WriteJSON missing %s key", key)
+		}
+	}
+}

@@ -32,14 +32,18 @@ type StageStats struct {
 }
 
 // HistStats summarizes one histogram: observation count, value sum/mean, and
-// approximate quantile upper bounds derived from the power-of-two buckets.
+// interpolated p50/p95/p99 estimates derived from the power-of-two buckets.
+// The quantiles place the target rank inside its bucket and interpolate
+// linearly across the bucket's value range, so they are estimates with
+// one-bucket resolution (a factor-of-two band), not exact order statistics.
 type HistStats struct {
 	Name    string        `json:"name"`
 	Count   int64         `json:"count"`
 	Sum     int64         `json:"sum"`
 	Mean    float64       `json:"mean"`
-	P50     int64         `json:"p50_le"`
-	P99     int64         `json:"p99_le"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
@@ -126,28 +130,55 @@ func (s *Sink) histStats(h Hist) HistStats {
 		return out
 	}
 	out.Mean = float64(out.Sum) / float64(out.Count)
-	quantile := func(q float64) int64 {
-		target := int64(q * float64(out.Count))
-		if target >= out.Count {
-			target = out.Count - 1
-		}
-		var seen int64
-		for i, n := range counts {
-			seen += n
-			if seen > target {
-				return BucketUpper(i)
-			}
-		}
-		return BucketUpper(HistBuckets - 1)
-	}
-	out.P50 = quantile(0.50)
-	out.P99 = quantile(0.99)
+	out.P50 = quantileEstimate(&counts, out.Count, 0.50)
+	out.P95 = quantileEstimate(&counts, out.Count, 0.95)
+	out.P99 = quantileEstimate(&counts, out.Count, 0.99)
 	for i, n := range counts {
 		if n != 0 {
 			out.Buckets = append(out.Buckets, BucketCount{Le: BucketUpper(i), N: n})
 		}
 	}
 	return out
+}
+
+// quantileEstimate interpolates the q-quantile from power-of-two bucket
+// counts: it walks to the bucket holding the target rank, then interpolates
+// linearly between the bucket's lower and upper value bounds by the rank's
+// position among the bucket's observations. Bucket 0 (v <= 0) estimates 0;
+// the unbounded last bucket interpolates toward twice its lower bound,
+// since its true upper edge carries no information.
+func quantileEstimate(counts *[HistBuckets]int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	target := q * float64(total-1) // continuous rank in [0, total-1]
+	var before int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		hi := float64(before+n) - 1 // last rank covered by this bucket
+		if target <= hi || before+n == total {
+			if i == 0 {
+				return 0
+			}
+			lower := float64(BucketUpper(i - 1))
+			upper := float64(BucketUpper(i))
+			if i == HistBuckets-1 {
+				upper = 2 * lower
+			}
+			frac := (target - float64(before) + 1) / float64(n)
+			if frac > 1 {
+				frac = 1
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(upper-lower)
+		}
+		before += n
+	}
+	return float64(BucketUpper(HistBuckets - 1))
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -204,9 +235,10 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	if len(r.Histograms) > 0 {
 		fmt.Fprintln(w, "histograms:")
-		fmt.Fprintf(w, "  %-24s %10s %12s %10s %10s\n", "histogram", "count", "mean", "p50<=", "p99<=")
+		fmt.Fprintf(w, "  %-24s %10s %12s %12s %12s %12s\n", "histogram", "count", "mean", "p50", "p95", "p99")
 		for _, h := range r.Histograms {
-			fmt.Fprintf(w, "  %-24s %10d %12.1f %10d %10d\n", h.Name, h.Count, h.Mean, h.P50, h.P99)
+			fmt.Fprintf(w, "  %-24s %10d %12.1f %12.1f %12.1f %12.1f\n",
+				h.Name, h.Count, h.Mean, h.P50, h.P95, h.P99)
 		}
 	}
 	return nil

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 )
 
 // parState is the parallel driver's scheduling state, embedded in the engine
@@ -74,10 +75,10 @@ func (en *engine) runParallel(workers int) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int32) {
 			defer wg.Done()
-			en.worker(bar)
-		}()
+			en.worker(bar, lane)
+		}(int32(w))
 	}
 	wg.Wait()
 	return en.ps.err
@@ -87,23 +88,28 @@ func (en *engine) runParallel(workers int) error {
 // joins the barrier; the last arriver runs the window turn. Rank indices are
 // claimed atomically, so a rank is advanced by exactly one worker per window,
 // and the barrier orders the hand-off of its cursor state to the next window.
-func (en *engine) worker(bar *barrier) {
+func (en *engine) worker(bar *barrier, lane int32) {
 	for {
+		wsp := rec.Begin(ftrace.CatSim, ftrace.NameWindow, lane)
+		var visits, prog int64
 		for {
 			i := en.ps.cursor.Add(1) - 1
 			if i >= int64(en.ps.nActive) {
 				break
 			}
+			visits++
 			p, err := en.advance(int(en.ps.active[i]), en.ps.windowEnd)
 			if err != nil {
 				en.fail(err)
 			}
 			if p > 0 {
+				prog += int64(p)
 				en.ps.progress.Add(int64(p))
 			} else {
 				en.ps.stalls.Add(1)
 			}
 		}
+		wsp.End(visits, prog)
 		if !bar.await(en.windowTurn) {
 			return
 		}
@@ -128,6 +134,7 @@ func (en *engine) fail(err error) {
 func (en *engine) windowTurn() bool {
 	progressed := en.ps.progress.Swap(0)
 	en.ps.cursor.Store(0)
+	rec.Instant(ftrace.CatSim, ftrace.NameTurn, 0, progressed, int64(en.ps.nActive))
 	if sink.Enabled() {
 		sink.Inc(obs.SimWindows)
 		sink.Observe(obs.HistSimWindowEvents, progressed)

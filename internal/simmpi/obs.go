@@ -1,6 +1,9 @@
 package simmpi
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
+)
 
 // sink is the package's attached metrics sink; nil (the default) disables
 // observation. Wired once at startup via SetObs and only read afterwards.
@@ -10,3 +13,12 @@ var sink *obs.Sink
 // simulating; a nil sink disables observation. Not safe to call concurrently
 // with a running simulation.
 func SetObs(s *obs.Sink) { sink = s }
+
+// rec is the package's attached flight recorder: one span per worker per
+// lookahead window on the "sim" track (lane = worker index) plus one instant
+// per barrier turn. nil records nothing.
+var rec *ftrace.Recorder
+
+// SetTrace attaches a flight recorder to the simulation engine. Not safe to
+// call concurrently with a running simulation.
+func SetTrace(r *ftrace.Recorder) { rec = r }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/mpisim"
 	"repro/internal/obs"
+	ftrace "repro/internal/obs/trace"
 	"repro/internal/trace"
 )
 
@@ -210,6 +211,7 @@ func newEngine(srcs []EventSource, params mpisim.Params, par bool) *engine {
 // per-window metrics stay meaningful across drivers.
 func (en *engine) runSequential() error {
 	for {
+		wsp := rec.Begin(ftrace.CatSim, ftrace.NameWindow, 0)
 		progressed := 0
 		remaining := 0
 		for rid := range en.ranks {
@@ -222,6 +224,7 @@ func (en *engine) runSequential() error {
 				remaining++
 			}
 		}
+		wsp.End(int64(len(en.ranks)), int64(progressed))
 		if sink.Enabled() {
 			sink.Inc(obs.SimWindows)
 			sink.Observe(obs.HistSimWindowEvents, int64(progressed))

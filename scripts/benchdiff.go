@@ -1,0 +1,50 @@
+// Command benchdiff compares two benchmark JSON documents and reports
+// per-benchmark ns/op and allocs/op deltas. Either side may be a fresh
+// `cypressbench -benchjson` report or a checked-in BENCH_pr*.json trajectory
+// file (the nested "after" measurements are used).
+//
+// Usage:
+//
+//	go run scripts/benchdiff.go [-threshold 0.25] [-allocslack 0] [-report-only] baseline.json current.json
+//
+// Exit status is 1 when any benchmark regresses beyond the thresholds,
+// unless -report-only is set (CI uses report-only while single-run container
+// timings stay too noisy to gate on).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "ns/op regression threshold as a fraction (0.25 = +25%)")
+	allocSlack := flag.Int64("allocslack", 0, "allowed allocs/op growth before flagging")
+	reportOnly := flag.Bool("report-only", false, "always exit 0; print the report and regression count only")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := bench.ParseBenchFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := bench.ParseBenchFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressed, err := bench.Diff(base, cur).WriteText(os.Stdout, *threshold, *allocSlack)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if regressed > 0 && !*reportOnly {
+		os.Exit(1)
+	}
+}

@@ -105,6 +105,14 @@ func BenchmarkCorpusGetWarm1024(b *testing.B)     { bench.BenchCorpusGetWarm1024
 func BenchmarkCorpusPredictCold1024(b *testing.B) { bench.BenchCorpusPredictCold1024(b) }
 func BenchmarkCorpusPredictWarm1024(b *testing.B) { bench.BenchCorpusPredictWarm1024(b) }
 
+// Selective decode with projection pushdown: single-rank serving against the
+// full-decode baselines over the sharded 1024-rank fixture.
+func BenchmarkDecodeSharded1024(b *testing.B)        { bench.BenchDecodeSharded1024(b) }
+func BenchmarkDecodeSelect1024Rank1(b *testing.B)    { bench.BenchDecodeSelect1024Rank1(b) }
+func BenchmarkCorpusGetProjected1024(b *testing.B)   { bench.BenchCorpusGetProjected1024(b) }
+func BenchmarkReplayRankProjected1024(b *testing.B)  { bench.BenchReplayRankProjected1024(b) }
+func BenchmarkReplayRankFullDecode1024(b *testing.B) { bench.BenchReplayRankFullDecode1024(b) }
+
 // BenchmarkPipelineCompile measures the static analysis module end to end
 // (parse, check, lower, CFG analyses, CST build) on the largest skeleton.
 func BenchmarkPipelineCompile(b *testing.B) {

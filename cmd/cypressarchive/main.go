@@ -30,6 +30,7 @@ import (
 	cypress "repro"
 	"repro/internal/merge"
 	ftrace "repro/internal/obs/trace"
+	"repro/internal/trace"
 )
 
 func fail(err error) {
@@ -38,7 +39,15 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cypressarchive -dir DIR {add FILE...|ls|get HASH [-o FILE]|stats|rm HASH|gc}")
+	fmt.Fprintln(os.Stderr, `usage: cypressarchive -dir DIR COMMAND
+commands:
+  add FILE...                     ingest trace files
+  ls                              list content hashes
+  get HASH [-o FILE]              reconstruct a trace's exact bytes
+  get HASH -rank N [-limit N]     print one rank's decompressed events
+  stats                           corpus totals as JSON
+  rm HASH                         tombstone a trace
+  gc                              compact, drop tombstones`)
 	os.Exit(2)
 }
 
@@ -87,6 +96,8 @@ func main() {
 	case "get":
 		fs := flag.NewFlagSet("get", flag.ExitOnError)
 		out := fs.String("o", "", "output file (default stdout)")
+		rank := fs.Int("rank", -1, "print this rank's decompressed events instead of trace bytes (rank-projected decode)")
+		limit := fs.Int("limit", 50, "with -rank: max events to print (0 = all)")
 		var hash string
 		if len(args) > 0 && args[0][0] != '-' {
 			hash, args = args[0], args[1:]
@@ -97,6 +108,12 @@ func main() {
 		}
 		if hash == "" {
 			usage()
+		}
+		if *rank >= 0 {
+			if err := getRank(c, parseHash(hash), *rank, *limit); err != nil {
+				fail(err)
+			}
+			return
 		}
 		enc, err := c.GetBytes(parseHash(hash))
 		if err != nil {
@@ -163,10 +180,38 @@ func addFile(c *cypress.Corpus, path string) (cypress.TraceID, error) {
 	return c.IngestBytes(buf.Bytes())
 }
 
+// getRank serves one rank's event sequence through the rank-projected decode
+// path: only the selected rank's timing payloads are materialized, matching
+// cypressreplay -rank's output format.
+func getRank(c *cypress.Corpus, id cypress.TraceID, rank, limit int) error {
+	res, release, err := c.GetProjected(id, rank)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if rank >= res.Merged.NumRanks {
+		fmt.Fprintf(os.Stderr, "cypressarchive: rank %d out of range [0,%d)\n", rank, res.Merged.NumRanks)
+		os.Exit(2)
+	}
+	fmt.Printf("trace: ranks=%d events=%d cst-vertices=%d\n",
+		res.Merged.NumRanks, res.Merged.EventCount, res.Merged.Tree.NumVertices())
+	printed := 0
+	return res.Streamer().Replay(rank, func(e *trace.Event) {
+		if limit > 0 && printed >= limit {
+			return
+		}
+		fmt.Printf("  %6d: %s dur=%.0fns\n", printed, e.String(), e.DurationNS)
+		printed++
+	})
+}
+
 func parseHash(s string) cypress.TraceID {
 	var h uint64
+	// A malformed hash is a usage error (exit 2, like a bad -rank in
+	// cypressreplay), not a runtime failure.
 	if _, err := fmt.Sscanf(s, "%x", &h); err != nil || len(s) != 16 {
-		fail(fmt.Errorf("bad hash %q: want 16 hex digits", s))
+		fmt.Fprintf(os.Stderr, "cypressarchive: bad hash %q: want 16 hex digits\n", s)
+		os.Exit(2)
 	}
 	return h
 }

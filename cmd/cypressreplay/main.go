@@ -82,12 +82,29 @@ func main() {
 			}()
 		}
 	}
-	f, err := os.Open(flag.Arg(0))
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
-	m, err := cypress.ReadTracePar(f, *par)
+	// A numeric -rank is parsed before the decode so the single-rank query can
+	// take the rank-projected selective path: only that rank's timing payloads
+	// are materialized, and serving cost scales with the slice served rather
+	// than the trace size.
+	rank := -1
+	if *rankFlag != "" && *rankFlag != "all" {
+		r, err := strconv.Atoi(*rankFlag)
+		if err != nil || r < 0 {
+			fmt.Fprintf(os.Stderr, "cypressreplay: -rank wants a rank number or \"all\", got %q\n", *rankFlag)
+			os.Exit(2)
+		}
+		rank = r
+	}
+	var m *merge.Merged
+	if rank >= 0 {
+		m, err = cypress.ReadTraceProjected(data, *par, rank)
+	} else {
+		m, err = cypress.ReadTracePar(bytes.NewReader(data), *par)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -99,11 +116,6 @@ func main() {
 		if *rankFlag == "all" {
 			printAll(m, *stream, *par, *limit)
 			return
-		}
-		rank, err := strconv.Atoi(*rankFlag)
-		if err != nil || rank < 0 {
-			fmt.Fprintf(os.Stderr, "cypressreplay: -rank wants a rank number or \"all\", got %q\n", *rankFlag)
-			os.Exit(2)
 		}
 		if rank >= m.NumRanks {
 			fmt.Fprintf(os.Stderr, "cypressreplay: rank %d out of range [0,%d)\n", rank, m.NumRanks)

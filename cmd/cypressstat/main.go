@@ -10,6 +10,7 @@
 //
 //	cypressstat run.cyp                      # structural tables
 //	cypressstat -json run.cyp                # same, as JSON
+//	cypressstat -rank 3 run.cyp              # rank-projected decode economics
 //	cypressstat -workload CG -procs 64       # trace in-process, then inspect
 //	cypressstat -workload LU -procs 64 -stats  # + live pipeline counters
 //	cypressstat -stats prog.mpl              # trace an MPL file in-process
@@ -26,6 +27,7 @@ import (
 	"os"
 
 	cypress "repro"
+	"repro/internal/blockio"
 	"repro/internal/corpus"
 	"repro/internal/inspect"
 	"repro/internal/merge"
@@ -48,11 +50,23 @@ func main() {
 	par := flag.Int("par", 0, "inflate workers for CYPB trace files (0 = default, <0 = inline)")
 	timeline := flag.String("timeline", "", "render a flight-recorder capture (Chrome trace-event JSON from -trace) as a text timeline, then exit")
 	check := flag.Bool("check", false, "with -timeline: validate the capture against the trace-event schema and require a complete (drop-free) capture")
+	rankProj := flag.Int("rank", -1, "decode a trace file through the rank-projected selective path and report the projection economics, then exit")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *timeline != "" {
 		if err := renderTimeline(*timeline, *check); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *rankProj >= 0 {
+		if flag.NArg() != 1 || isMPL(flag.Arg(0)) {
+			fmt.Fprintln(os.Stderr, "cypressstat: -rank needs a trace-file argument")
+			os.Exit(2)
+		}
+		if err := projectionStats(flag.Arg(0), *rankProj, *par, *jsonOut); err != nil {
 			fail(err)
 		}
 		return
@@ -135,6 +149,61 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// projectionStats decodes one rank of a trace file through the selective
+// path and reports the projection economics: whether the file carries a CYPI
+// section index, and how many entries and payload bytes the projection
+// materialized versus skipped at decode time.
+func projectionStats(path string, rank, par int, jsonOut bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	payload, format, err := blockio.Unwrap(data, par)
+	if err != nil {
+		return err
+	}
+	s := obs.New()
+	merge.SetObs(s)
+	defer merge.SetObs(nil)
+	m, err := merge.DecodeSelect(payload, merge.SelectRanks(rank))
+	if err != nil {
+		return err
+	}
+	if rank >= m.NumRanks {
+		fmt.Fprintf(os.Stderr, "cypressstat: rank %d out of range [0,%d)\n", rank, m.NumRanks)
+		os.Exit(2)
+	}
+	indexed := merge.HasSectionIndex(payload)
+	eagerE := s.Value(obs.SelEntriesEager)
+	skipE := s.Value(obs.SelEntriesSkipped)
+	eagerB := s.Value(obs.SelBytesMaterialized)
+	skipB := s.Value(obs.SelBytesSkipped)
+	fellBack := s.Value(obs.SelFallbacks) > 0
+	avoided := 0.0
+	if eagerB+skipB > 0 {
+		avoided = 100 * float64(skipB) / float64(eagerB+skipB)
+	}
+	if jsonOut {
+		fmt.Printf("{\"rank\":%d,\"ranks\":%d,\"container\":%q,\"section_index\":%t,\"fallback_full_decode\":%t,"+
+			"\"entries_materialized\":%d,\"entries_skipped\":%d,"+
+			"\"payload_bytes_materialized\":%d,\"payload_bytes_skipped\":%d}\n",
+			rank, m.NumRanks, format.String(), indexed, fellBack, eagerE, skipE, eagerB, skipB)
+		return nil
+	}
+	fmt.Printf("selective decode: rank %d of %d (container %s)\n", rank, m.NumRanks, format)
+	yn := "no (grammar-walk skips)"
+	if indexed {
+		yn = "yes"
+	}
+	fmt.Printf("  section index    %s\n", yn)
+	if fellBack {
+		fmt.Printf("  NOTE: selective path fell back to a full decode\n")
+	}
+	fmt.Printf("  entries          %d materialized, %d skipped\n", eagerE, skipE)
+	fmt.Printf("  payload bytes    %d materialized, %d skipped (%.1f%% avoided)\n", eagerB, skipB, avoided)
+	return nil
 }
 
 // renderTimeline parses a flight-recorder capture file and prints it as a

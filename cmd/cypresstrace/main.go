@@ -7,6 +7,7 @@
 //	cypresstrace -procs 64 -o run.cyp prog.mpl
 //	cypresstrace -workload LU -procs 128 -o lu.cyp -gzip
 //	cypresstrace -workload LU -procs 128 -o lu.cyp -block -par 4
+//	cypresstrace -workload LU -procs 128 -o lu.cyp -index
 //	cypresstrace -workload MG -procs 64            # stats only
 package main
 
@@ -27,6 +28,7 @@ func main() {
 	out := flag.String("o", "", "output trace file (stats only if empty)")
 	useGzip := flag.Bool("gzip", false, "gzip the trace file (Cypress+Gzip)")
 	useBlock := flag.Bool("block", false, "write the CYPB block container (sharded deflate frames + seekable index)")
+	useIndex := flag.Bool("index", false, "append the CYPI section index for rank-projected serving (composes with -gzip)")
 	par := flag.Int("par", 0, "compression workers for -block (0 = GOMAXPROCS-derived default)")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
 	hist := flag.Bool("hist", false, "record time histograms instead of mean/stddev")
@@ -34,6 +36,16 @@ func main() {
 	traceFile := flag.String("trace", "", "capture a flight-recorder timeline of the run and write Chrome trace-event JSON to this file (load in Perfetto)")
 	debugAddr := flag.String("debug.addr", "", "serve pprof/expvar/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
+	if *useBlock && *useGzip {
+		fmt.Fprintln(os.Stderr, "cypresstrace: -block and -gzip are mutually exclusive")
+		os.Exit(2)
+	}
+	if *useBlock && *useIndex {
+		// The CYPB footer index pins the framed payload length, which a
+		// trailing sidecar would break.
+		fmt.Fprintln(os.Stderr, "cypresstrace: -block and -index are mutually exclusive")
+		os.Exit(2)
+	}
 
 	var rec *ftrace.Recorder
 	if *traceFile != "" {
@@ -114,14 +126,13 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if *useBlock && *useGzip {
-		fmt.Fprintln(os.Stderr, "cypresstrace: -block and -gzip are mutually exclusive")
-		os.Exit(2)
-	}
 	var n int64
-	if *useBlock {
+	switch {
+	case *useBlock:
 		n, err = res.WriteTraceBlocked(w, *par)
-	} else {
+	case *useIndex:
+		n, err = res.WriteTraceIndexed(w, *useGzip)
+	default:
 		n, err = res.WriteTrace(w, *useGzip)
 	}
 	if err != nil {

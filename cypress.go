@@ -265,6 +265,18 @@ func (r *Result) WriteTrace(w io.Writer, gzip bool) (int64, error) {
 	return r.Merged.Encode(w)
 }
 
+// WriteTraceIndexed serializes the merged compressed trace with the CYPI
+// section index appended after the standard v1 body (gzip-wrapped when gzip
+// is set). The body bytes are identical to WriteTrace's output and every
+// existing reader decodes them unchanged; indexed files additionally let
+// ReadTraceProjected skip unselected ranks' payload sections in O(1).
+func (r *Result) WriteTraceIndexed(w io.Writer, gzip bool) (int64, error) {
+	if gzip {
+		return r.Merged.EncodeIndexedGzip(w)
+	}
+	return r.Merged.EncodeIndexed(w)
+}
+
 // WriteTraceBlocked serializes the merged compressed trace inside the CYPB
 // block container: sharded deflate frames compressed by a pool of workers
 // (workers <= 0 picks a default from GOMAXPROCS) with a seekable frame index
@@ -288,6 +300,17 @@ func ReadTrace(rd io.Reader) (*merge.Merged, error) {
 // the decoded trace; other formats ignore it.
 func ReadTracePar(rd io.Reader, workers int) (*merge.Merged, error) {
 	return merge.DecodePar(rd, workers)
+}
+
+// ReadTraceProjected loads a trace held in memory (any container ReadTrace
+// accepts) with a rank projection pushed into the decoder: only the listed
+// ranks' timing payloads are materialized, the rest resolve lazily on first
+// touch. Single-rank serving cost then scales with what the query touches,
+// not with trace size; files written by WriteTraceIndexed skip unselected
+// sections by index, others by a grammar walk. The returned tree retains the
+// payload bytes, so the caller must not modify data afterwards.
+func ReadTraceProjected(data []byte, workers int, ranks ...int) (*merge.Merged, error) {
+	return merge.DecodeSelectAuto(data, merge.SelectRanks(ranks...), workers)
 }
 
 // CommMatrix accumulates the communication volume matrix (bytes sent from
@@ -451,6 +474,21 @@ func (c *Corpus) GetBytes(id TraceID) ([]byte, error) { return c.store.GetBytes(
 // done with the Result.
 func (c *Corpus) Get(id TraceID) (r *Result, release func(), err error) {
 	tr, err := c.store.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{Merged: tr.Merged, params: mpisim.DefaultParams(), streamFn: tr.Streamer}
+	return res, tr.Release, nil
+}
+
+// GetProjected is Get with a rank projection pushed into the decode: on a
+// cache miss only the listed ranks' timing payloads are materialized, and the
+// remainder fill lazily on first touch (see corpus.Store.GetProjected). The
+// projected tree shares the same serving-cache residency as Get's — warm
+// gets of either kind hit it — so projection changes decode cost, never
+// correctness or cache behavior.
+func (c *Corpus) GetProjected(id TraceID, ranks ...int) (r *Result, release func(), err error) {
+	tr, err := c.store.GetProjected(id, ranks)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -590,6 +590,11 @@ func Micros() []Micro {
 		{"CorpusGetWarm1024", BenchCorpusGetWarm1024},
 		{"CorpusPredictCold1024", BenchCorpusPredictCold1024},
 		{"CorpusPredictWarm1024", BenchCorpusPredictWarm1024},
+		{"DecodeSharded1024", BenchDecodeSharded1024},
+		{"DecodeSelect1024Rank1", BenchDecodeSelect1024Rank1},
+		{"CorpusGetProjected1024", BenchCorpusGetProjected1024},
+		{"ReplayRankProjected1024", BenchReplayRankProjected1024},
+		{"ReplayRankFullDecode1024", BenchReplayRankFullDecode1024},
 	}
 }
 

@@ -2,6 +2,7 @@ package blockio
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
@@ -108,6 +109,31 @@ func (s *Sniffed) Finish() error {
 		return err
 	}
 	return nil
+}
+
+// Unwrap strips the container layer from an in-memory trace file and returns
+// the bare payload bytes plus the format that was removed. Raw input is
+// returned as-is (zero copy — the result aliases data); gzip and CYPB inputs
+// are decompressed into a fresh buffer, with the CYPB footer index verified.
+// This is the whole-file analogue of Sniff for callers that need random
+// access to the payload (merge.DecodeSelectAuto).
+func Unwrap(data []byte, workers int) ([]byte, Format, error) {
+	sn, err := SniffReader(bytes.NewReader(data), workers)
+	if err != nil {
+		return nil, FormatRaw, err
+	}
+	defer sn.Close()
+	if sn.Format == FormatRaw {
+		return data, FormatRaw, nil
+	}
+	payload, err := io.ReadAll(sn.R)
+	if err != nil {
+		return nil, sn.Format, err
+	}
+	if err := sn.Finish(); err != nil {
+		return nil, sn.Format, err
+	}
+	return payload, sn.Format, nil
 }
 
 // Close releases the container layer (and the pooled buffered reader when

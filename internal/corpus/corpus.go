@@ -652,6 +652,31 @@ func (s *Store) getBytesLocked(hash uint64) ([]byte, error) {
 // then it cannot be evicted. Repeated gets of a resident trace do no decode
 // work.
 func (s *Store) Get(hash uint64) (*Trace, error) {
+	return s.get(hash, decodeFull)
+}
+
+// decodeFull is Get's decode step. A package-level func (not a per-call
+// closure) so the warm path stays allocation-free.
+func decodeFull(enc []byte) (*merge.Merged, error) {
+	return merge.Decode(bytes.NewReader(enc))
+}
+
+// GetProjected is Get with a rank projection pushed into the decode: on a
+// cache miss the trace is reconstructed once but only the selected ranks'
+// timing payloads are materialized (merge.DecodeSelect); the rest fill lazily
+// from the retained encoding on first touch. The projected tree enters the
+// same serving cache at the same cost as the full tree (the lazy form retains
+// the whole encoding), so a later Get or differently-ranked GetProjected of a
+// resident trace is a cache hit that self-heals payload coverage on demand.
+func (s *Store) GetProjected(hash uint64, ranks []int) (*Trace, error) {
+	return s.get(hash, func(enc []byte) (*merge.Merged, error) {
+		return merge.DecodeSelect(enc, merge.SelectRanks(ranks...))
+	})
+}
+
+// get is the shared body of Get and GetProjected: cache acquire, else
+// reconstruct bytes, decode via decode, and insert.
+func (s *Store) get(hash uint64, decode func([]byte) (*merge.Merged, error)) (*Trace, error) {
 	var t0 time.Time
 	if sink != nil {
 		t0 = time.Now()
@@ -671,7 +696,7 @@ func (s *Store) Get(hash uint64) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := merge.Decode(bytes.NewReader(enc))
+	m, err := decode(enc)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: trace %016x: %w", hash, err)
 	}

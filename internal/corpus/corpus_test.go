@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -623,4 +624,89 @@ func TestCorruptStoreErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// replayRank replays one rank of a served trace through its shared streamer.
+func replayRank(t testing.TB, tr *corpus.Trace, rank int) []trace.Event {
+	t.Helper()
+	var out []trace.Event
+	if err := tr.Streamer().Replay(rank, func(e *trace.Event) {
+		out = append(out, *e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGetProjected: a rank-projected get replays the selected rank
+// identically to a full get, shares the full tree's cache residency (one
+// decode, one cost accounting), and self-heals when an unselected rank of
+// the resident projected tree is touched later.
+func TestGetProjected(t *testing.T) {
+	st, err := corpus.Open(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const ranks = 8
+	h, err := st.IngestBytes(encodeBytes(t, simMerged(t, multiPhaseSrc, ranks, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := obs.New()
+	corpus.SetObs(s)
+	defer corpus.SetObs(nil)
+
+	// Cold projected get: decodes selectively, enters the serving cache.
+	proj, err := st.GetProjected(h, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proj.Release()
+	if misses := s.Value(obs.CorpusCacheMisses); misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", misses)
+	}
+
+	// A full Get of the resident trace is a cache hit on the same tree.
+	full, err := st.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Release()
+	if hits := s.Value(obs.CorpusCacheHits); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if full.Merged != proj.Merged {
+		t.Fatal("projected and full gets of a resident trace do not share one tree")
+	}
+
+	// Reference sequences from an independent full decode.
+	ref, err := merge.Decode(bytes.NewReader(mustGetBytes(t, st, h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{3, 0, ranks - 1} {
+		var want []trace.Event
+		if err := merge.NewStreamer(ref).Replay(rank, func(e *trace.Event) {
+			want = append(want, *e)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// rank 3 is the selected slice; the others exercise lazy self-healing
+		// of the shared resident tree.
+		got := replayRank(t, proj, rank)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d: projected replay diverges (%d vs %d events)", rank, len(got), len(want))
+		}
+	}
+}
+
+func mustGetBytes(t testing.TB, st *corpus.Store, h uint64) []byte {
+	t.Helper()
+	enc, err := st.GetBytes(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
 }

@@ -100,6 +100,11 @@ type Analysis struct {
 // Analyze derives the structural breakdown of m. The result depends only on
 // the merged data, never on merge schedule or timing.
 func Analyze(m *merge.Merged) *Analysis {
+	// Analyze reads every payload, so a selectively decoded tree (corpus
+	// GetProjected, merge.DecodeSelect) is materialized up front. A fill
+	// error leaves that entry's Data nil and the guard below keeps it out
+	// of the tally; trees whose encoding full Decode accepts cannot hit it.
+	_ = m.Materialize()
 	a := &Analysis{}
 	a.Summary.NumRanks = m.NumRanks
 	a.Summary.EventCount = m.EventCount
@@ -117,6 +122,9 @@ func Analyze(m *merge.Merged) *Analysis {
 		var leaf LeafRow
 		var st StrideRow
 		for _, e := range es {
+			if e.Data == nil {
+				continue
+			}
 			nr := e.Ranks.Len()
 			a.Summary.SizeBytes += e.Data.SizeBytes() + e.Ranks.SizeBytes()
 			for _, r := range e.Data.Records {

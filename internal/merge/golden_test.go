@@ -67,6 +67,74 @@ func TestEncodeGoldenPin(t *testing.T) {
 	}
 }
 
+// TestEncodeGoldenPinIndexed pins the CYPI section-index sidecar
+// byte-for-byte on top of the pinned v1 bodies. Each .cypi fixture must be
+// exactly its .cyp sibling plus the sidecar — that prefix property IS the
+// backward-compatibility contract (old decoders read indexed files as v1
+// streams with trailing bytes) — and the current EncodeIndexed must
+// reproduce the whole file exactly. Regenerates with the same -update flag
+// as TestEncodeGoldenPin; the .cyp fixture must exist (or be regenerated in
+// the same run, which test ordering guarantees).
+func TestEncodeGoldenPinIndexed(t *testing.T) {
+	for _, name := range []string{"jacobi7", "jacobi64"} {
+		t.Run(name, func(t *testing.T) {
+			cypPath := filepath.Join("testdata", "golden", name+".cyp")
+			path := filepath.Join("testdata", "golden", name+".cypi")
+			plain, err := os.ReadFile(cypPath)
+			if err != nil {
+				t.Fatalf("missing v1 fixture (run TestEncodeGoldenPin with -update first): %v", err)
+			}
+			if *updateGolden {
+				m, err := Decode(bytes.NewReader(plain))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := m.EncodeIndexed(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes, %d sidecar)", path, buf.Len(), buf.Len()-len(plain))
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to generate): %v", err)
+			}
+			if !bytes.HasPrefix(data, plain) {
+				t.Fatalf("%s does not start with the pinned v1 body %s", path, cypPath)
+			}
+			if !HasSectionIndex(data) {
+				t.Fatalf("%s carries no valid CYPI sidecar", path)
+			}
+			m, err := Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("v1 decoder rejects pinned indexed fixture: %v", err)
+			}
+			var buf bytes.Buffer
+			if _, err := m.EncodeIndexed(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatalf("EncodeIndexed output differs from pinned fixture %s (%d vs %d bytes): the sidecar format changed",
+					path, buf.Len(), len(data))
+			}
+			ms, err := DecodeSelect(data, SelectAll())
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Reset()
+			if _, err := ms.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), plain) {
+				t.Fatal("selective decode of pinned indexed fixture re-encodes differently from the v1 body")
+			}
+		})
+	}
+}
+
 // writeGolden regenerates one fixture: trace jacobiSrc, merge, and encode
 // twice through a decode so the stored bytes are the codec's normal form
 // (derived fields like stddev are normalized away and re-encoding is a

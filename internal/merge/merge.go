@@ -67,6 +67,11 @@ type Entry struct {
 	// be extended in place. FromRank shares one Set across all vertices of a
 	// rank, so entries start not owning; the first union copies.
 	owns bool
+	// lazy is non-zero for an entry whose payload DecodeSelect skipped: Data
+	// stays nil until the section is materialized from slot lazy-1 of the
+	// tree's lazyPayloads (see entryData). Zero for eagerly decoded and
+	// merge-built entries.
+	lazy int32
 }
 
 // Merged is a job-wide compressed trace tree.
@@ -92,6 +97,9 @@ type Merged struct {
 	uniform bool
 	// groups caches GroupCount as an O(1) shape guard for the span compare.
 	groups int
+	// lazy, when non-nil, holds the retained encoding and the byte ranges of
+	// the payload sections a selective decode skipped (see DecodeSelect).
+	lazy *lazyPayloads
 }
 
 // executedCount returns the number of vertices holding dynamic data, using
@@ -317,6 +325,14 @@ func pairEsc(a, b *Merged) (_ *Merged, escaped bool, _ error) {
 	}
 	if len(a.Entries) != len(b.Entries) {
 		return nil, false, fmt.Errorf("merge: vertex count mismatch: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	// Merging reads and mutates payloads in place, so projected trees must be
+	// whole first.
+	if err := a.Materialize(); err != nil {
+		return nil, false, err
+	}
+	if err := b.Materialize(); err != nil {
+		return nil, false, err
 	}
 	noRel := a.noRel || b.noRel
 	a.noRel = noRel
@@ -789,9 +805,17 @@ type rankView struct {
 func (m *Merged) ForRank(rank int) rankView { return rankView{m, rank} }
 
 func (v rankView) data(gid int32) *ctt.VData {
-	for _, e := range v.m.Entries[gid] {
-		if e.Ranks.Contains(v.rank) {
-			return e.Data
+	es := v.m.Entries[gid]
+	for i := range es {
+		if es[i].Ranks.Contains(v.rank) {
+			d, err := v.m.entryData(&es[i])
+			if err != nil {
+				// replay.Source has no error channel; a corrupt lazy section
+				// reads as unexecuted here. The Streamer path surfaces the
+				// error instead, and Materialize reports it directly.
+				return nil
+			}
+			return d
 		}
 	}
 	return nil
@@ -836,6 +860,11 @@ func (v rankView) Cycles(gid int32) []ctt.Cycle {
 func (m *Merged) statMode() timestat.Mode {
 	for _, es := range m.Entries {
 		for _, e := range es {
+			if e.Data == nil {
+				// Unmaterialized lazy payload; encode materializes the whole
+				// tree before calling here.
+				continue
+			}
 			for _, r := range e.Data.Records {
 				if r.Time.Hist != nil {
 					return timestat.ModeHistogram

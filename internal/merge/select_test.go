@@ -1,0 +1,496 @@
+package merge
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// divergentSrc pairs ranks with different loop trip counts, so the merged
+// tree has several rank groups per vertex — the regime where a rank
+// projection actually skips payload sections.
+const divergentSrc = `
+func main() {
+	var pair = rank / 2;
+	var k = 5;
+	if pair % 2 == 1 { k = 9; }
+	if rank % 2 == 0 {
+		for var i = 0; i < k; i = i + 1 { send(rank + 1, 64, 0); }
+	} else {
+		for var i = 0; i < k; i = i + 1 { recv(rank - 1, 64, 0); }
+	}
+}`
+
+// buildMerged traces src and merges the per-rank trees.
+func buildMerged(t testing.TB, src string, ranks int) *Merged {
+	t.Helper()
+	_, ctts, _ := collect(t, src, ranks)
+	m, err := All(ctts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func encodePlain(t testing.TB, m *Merged) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeIndexed(t testing.TB, m *Merged) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := m.EncodeIndexed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("EncodeIndexed reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// replaySeq replays one rank through the reference per-rank walk.
+func replaySeq(t testing.TB, m *Merged, rank int) []trace.Event {
+	t.Helper()
+	var out []trace.Event
+	if err := replay.Events(m.ForRank(rank), rank, func(e *trace.Event) {
+		out = append(out, *e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// streamSeq replays one rank through the Streamer (the path that surfaces
+// lazy-fill errors).
+func streamSeq(t testing.TB, m *Merged, rank int) []trace.Event {
+	t.Helper()
+	var out []trace.Event
+	if err := NewStreamer(m).Replay(rank, func(e *trace.Event) {
+		out = append(out, *e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func countEntries(m *Merged) (n int) {
+	for _, es := range m.Entries {
+		n += len(es)
+	}
+	return n
+}
+
+func TestSelection(t *testing.T) {
+	all := SelectAll()
+	if !all.All() || !all.Contains(0) || !all.Contains(1<<20) {
+		t.Fatal("SelectAll must contain every rank")
+	}
+	s := SelectRanks(5, 1, 5, 3)
+	if s.All() {
+		t.Fatal("SelectRanks must not report All")
+	}
+	if got := s.Ranks(); !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("Ranks() = %v, want sorted dedup [1 3 5]", got)
+	}
+	for _, r := range []int{1, 3, 5} {
+		if !s.Contains(r) {
+			t.Fatalf("Contains(%d) = false", r)
+		}
+	}
+	for _, r := range []int{0, 2, 4, 6} {
+		if s.Contains(r) {
+			t.Fatalf("Contains(%d) = true", r)
+		}
+	}
+	empty := SelectRanks()
+	if empty.All() || empty.Contains(0) || len(empty.Ranks()) != 0 {
+		t.Fatal("empty selection must contain nothing")
+	}
+}
+
+// TestEncodeIndexedBackwardCompat pins the compatibility contract of the CYPI
+// sidecar: an indexed encoding is the plain v1 body byte-for-byte, followed by
+// the sidecar, and the existing full decoder reads it unchanged.
+func TestEncodeIndexedBackwardCompat(t *testing.T) {
+	m := buildMerged(t, jacobiSrc, 7)
+	plain := encodePlain(t, m)
+	indexed := encodeIndexed(t, m)
+
+	if !bytes.HasPrefix(indexed, plain) {
+		t.Fatal("indexed encoding does not start with the plain v1 body")
+	}
+	if !HasSectionIndex(indexed) {
+		t.Fatal("HasSectionIndex(indexed) = false")
+	}
+	if HasSectionIndex(plain) {
+		t.Fatal("HasSectionIndex(plain) = true")
+	}
+
+	// The v1 decoder must accept the indexed file (the sidecar rides in the
+	// historical trailing-bytes tolerance) and normalize to the same bytes.
+	want := encodePlain(t, mustDecode(t, plain))
+	got := encodePlain(t, mustDecode(t, indexed))
+	if !bytes.Equal(want, got) {
+		t.Fatal("full Decode of indexed encoding diverges from plain")
+	}
+
+	// Gzip composition: EncodeIndexedGzip -> DecodeGzip-capable full decoder.
+	var gz bytes.Buffer
+	if _, err := m.EncodeIndexedGzip(&gz); err != nil {
+		t.Fatal(err)
+	}
+	got = encodePlain(t, mustDecode(t, gz.Bytes()))
+	if !bytes.Equal(want, got) {
+		t.Fatal("full Decode of gzip-indexed encoding diverges from plain")
+	}
+}
+
+func mustDecode(t testing.TB, enc []byte) *Merged {
+	t.Helper()
+	m, err := Decode(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDecodeSelectEquivalence is the core projection contract: for any
+// selection, over both indexed and index-less encodings, a selective decode
+// replays every rank identically to a full decode — selected ranks from
+// eagerly materialized payloads, unselected ranks through lazy fills — and
+// materializing the projected tree re-encodes to the full tree's exact bytes.
+func TestDecodeSelectEquivalence(t *testing.T) {
+	fixtures := []struct {
+		name  string
+		src   string
+		ranks int
+	}{
+		{"jacobi7", jacobiSrc, 7},
+		{"divergent8", divergentSrc, 8},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			m0 := buildMerged(t, fx.src, fx.ranks)
+			plain := encodePlain(t, m0)
+			indexed := encodeIndexed(t, m0)
+			full := mustDecode(t, plain)
+			canon := encodePlain(t, full)
+			wantSeq := make([][]trace.Event, fx.ranks)
+			for r := 0; r < fx.ranks; r++ {
+				wantSeq[r] = replaySeq(t, full, r)
+			}
+
+			sels := []struct {
+				name string
+				sel  Selection
+			}{
+				{"all", SelectAll()},
+				{"none", SelectRanks()},
+				{"first", SelectRanks(0)},
+				{"last", SelectRanks(fx.ranks - 1)},
+				{"pair", SelectRanks(0, fx.ranks/2)},
+			}
+			encs := []struct {
+				name string
+				enc  []byte
+			}{
+				{"plain", plain},
+				{"indexed", indexed},
+			}
+			for _, sc := range sels {
+				for _, ec := range encs {
+					t.Run(sc.name+"/"+ec.name, func(t *testing.T) {
+						m, err := DecodeSelect(ec.enc, sc.sel)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if m.NumRanks != full.NumRanks || len(m.Entries) != len(full.Entries) {
+							t.Fatalf("projected shape %d ranks/%d vertices, want %d/%d",
+								m.NumRanks, len(m.Entries), full.NumRanks, len(full.Entries))
+						}
+						// Selected ranks replay from eager payloads.
+						for r := 0; r < fx.ranks; r++ {
+							if !sc.sel.Contains(r) {
+								continue
+							}
+							if got := replaySeq(t, m, r); !reflect.DeepEqual(got, wantSeq[r]) {
+								t.Fatalf("selected rank %d: %d events, want %d", r, len(got), len(wantSeq[r]))
+							}
+						}
+						// Unselected ranks replay through on-demand lazy fills,
+						// on both the Streamer and the rankView path.
+						for r := 0; r < fx.ranks; r++ {
+							if sc.sel.Contains(r) {
+								continue
+							}
+							if got := streamSeq(t, m, r); !reflect.DeepEqual(got, wantSeq[r]) {
+								t.Fatalf("lazy rank %d via streamer: %d events, want %d", r, len(got), len(wantSeq[r]))
+							}
+							if got := replaySeq(t, m, r); !reflect.DeepEqual(got, wantSeq[r]) {
+								t.Fatalf("lazy rank %d via rankView: %d events, want %d", r, len(got), len(wantSeq[r]))
+							}
+							break // one lazy rank exercises the fill path
+						}
+						if err := m.Materialize(); err != nil {
+							t.Fatal(err)
+						}
+						if got := encodePlain(t, m); !bytes.Equal(got, canon) {
+							t.Fatalf("materialized projected tree re-encodes to %d bytes, want the full tree's %d",
+								len(got), len(canon))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeSelectCounters pins the projection telemetry: every entry is
+// either eager or skipped, skipped bytes are real, and replaying an
+// unselected rank fills lazily.
+func TestDecodeSelectCounters(t *testing.T) {
+	m0 := buildMerged(t, divergentSrc, 8)
+	enc := encodeIndexed(t, m0)
+
+	s := obs.New()
+	SetObs(s)
+	defer SetObs(nil)
+
+	m, err := DecodeSelect(enc, SelectRanks(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(obs.SelDecodes); got != 1 {
+		t.Fatalf("sel_decodes = %d, want 1", got)
+	}
+	if got := s.Value(obs.SelFallbacks); got != 0 {
+		t.Fatalf("sel_fallbacks = %d, want 0", got)
+	}
+	eager, skipped := s.Value(obs.SelEntriesEager), s.Value(obs.SelEntriesSkipped)
+	if total := int64(countEntries(m)); eager+skipped != total {
+		t.Fatalf("eager %d + skipped %d != %d entries", eager, skipped, total)
+	}
+	if eager == 0 || skipped == 0 {
+		t.Fatalf("rank-0 projection of divergent tree: eager=%d skipped=%d, want both > 0", eager, skipped)
+	}
+	if b := s.Value(obs.SelBytesSkipped); b == 0 {
+		t.Fatal("sel_bytes_skipped = 0 with skipped entries")
+	}
+	if b := s.Value(obs.SelBytesMaterialized); b == 0 {
+		t.Fatal("sel_bytes_materialized = 0 with eager entries")
+	}
+
+	// Touching an unselected rank fills its payloads from the retained bytes.
+	streamSeq(t, m, 3)
+	fills := s.Value(obs.SelLazyFills)
+	if fills == 0 || s.Value(obs.SelLazyFillBytes) == 0 {
+		t.Fatal("replaying an unselected rank recorded no lazy fills")
+	}
+	// Fills are once-per-slot: replaying again must not re-fill.
+	streamSeq(t, m, 3)
+	if got := s.Value(obs.SelLazyFills); got != fills {
+		t.Fatalf("second replay re-filled: %d fills, want %d", got, fills)
+	}
+
+	// The counters must also surface in the rendered report.
+	var rep bytes.Buffer
+	if err := s.Report().WriteText(&rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sel_decodes", "sel_entries_skipped", "sel_lazy_fills"} {
+		if !bytes.Contains(rep.Bytes(), []byte(name)) {
+			t.Fatalf("report omits %s:\n%s", name, rep.String())
+		}
+	}
+}
+
+// TestDecodeSelectFallback: damaged or lying sidecars must never fail a
+// selective decode — a sidecar that parses but disagrees with the stream
+// falls back to the full decoder, and one that no longer parses is treated
+// as trailing junk by the index-less walk.
+func TestDecodeSelectFallback(t *testing.T) {
+	m0 := buildMerged(t, jacobiSrc, 7)
+	plain := encodePlain(t, m0)
+	canon := encodePlain(t, mustDecode(t, plain))
+	want := replaySeq(t, mustDecode(t, plain), 2)
+
+	check := func(t *testing.T, enc []byte, wantFallback bool) {
+		t.Helper()
+		s := obs.New()
+		SetObs(s)
+		defer SetObs(nil)
+		m, err := DecodeSelect(enc, SelectRanks(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantFallback && s.Value(obs.SelFallbacks) == 0 {
+			t.Fatal("expected a fallback to the full decoder")
+		}
+		if got := replaySeq(t, m, 2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank 2 replay diverges (%d vs %d events)", len(got), len(want))
+		}
+		if err := m.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		if got := encodePlain(t, m); !bytes.Equal(got, canon) {
+			t.Fatal("re-encode diverges from canonical bytes")
+		}
+	}
+
+	t.Run("lying-index", func(t *testing.T) {
+		// A structurally valid sidecar whose entry count disagrees with the
+		// stream: the selective walk must reject it and fall back.
+		enc := append(append([]byte(nil), plain...), appendIndex(nil, []uint64{3, 1, 4})...)
+		check(t, enc, true)
+	})
+	t.Run("truncated-sidecar", func(t *testing.T) {
+		indexed := encodeIndexed(t, m0)
+		check(t, indexed[:len(indexed)-1], false)
+	})
+	t.Run("corrupt-sidecar", func(t *testing.T) {
+		indexed := encodeIndexed(t, m0)
+		enc := append([]byte(nil), indexed...)
+		enc[len(plain)+1] ^= 0xff // inside the sidecar, after the body
+		check(t, enc, false)
+	})
+}
+
+// TestDecodeSelectAuto covers the container sniffing wrapper: gzip-indexed
+// and CYPB-blocked files both reach the selective decoder.
+func TestDecodeSelectAuto(t *testing.T) {
+	m0 := buildMerged(t, divergentSrc, 8)
+	plain := encodePlain(t, m0)
+	want := replaySeq(t, mustDecode(t, plain), 5)
+
+	var gz bytes.Buffer
+	if _, err := m0.EncodeIndexedGzip(&gz); err != nil {
+		t.Fatal(err)
+	}
+	var blocked bytes.Buffer
+	if _, err := m0.EncodeBlocked(&blocked, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"raw", plain},
+		{"gzip-indexed", gz.Bytes()},
+		{"blocked", blocked.Bytes()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := DecodeSelectAuto(tc.data, SelectRanks(5), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := replaySeq(t, m, 5); !reflect.DeepEqual(got, want) {
+				t.Fatalf("rank 5 replay diverges (%d vs %d events)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestDecodeSelectStructureAllocs pins the projection's serving economics: a
+// structure-only selective decode must not allocate per skipped payload, so
+// its allocation count stays flat as the rank count (and payload volume)
+// grows. The jacobi tree has the same ~3 rank groups per vertex at any rank
+// count, which isolates exactly the per-payload cost.
+func TestDecodeSelectStructureAllocs(t *testing.T) {
+	measure := func(ranks int) float64 {
+		enc := encodeIndexed(t, buildMerged(t, jacobiSrc, ranks))
+		step := func() {
+			if _, err := DecodeSelect(enc, SelectRanks()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step()
+		return testing.AllocsPerRun(100, step)
+	}
+	small, large := measure(16), measure(64)
+	// Full Decode of the 16-rank fixture budgets 80 allocs (TestDecodeAllocs);
+	// structure-only decode replaces every VData materialization with slot
+	// bookkeeping and must come in under the same bound at 4x the ranks.
+	if small > 80 || large > 80 {
+		t.Errorf("structure-only DecodeSelect allocates %.1f (16 ranks) / %.1f (64 ranks) allocs/op, want <= 80", small, large)
+	}
+	if large > small+16 {
+		t.Errorf("structure-only allocs grew with rank count: %.1f at 16 ranks -> %.1f at 64", small, large)
+	}
+}
+
+// FuzzDecodeSelect checks the selective decoder against the full decoder on
+// arbitrary bytes: whenever full Decode accepts an input, DecodeSelect must
+// accept it too (the fallback guarantees this), replay selected ranks
+// identically, and materialize back to the full tree's exact re-encoding.
+// When full Decode rejects an input the only requirement is no panic —
+// skipped sections are framing-validated only, so the selective path may
+// legitimately accept streams whose payload contents are corrupt.
+func FuzzDecodeSelect(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s, uint8(0), uint8(1))
+		m, err := Decode(bytes.NewReader(s))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.EncodeIndexed(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), uint8(2), uint8(6))
+	}
+	f.Add([]byte("CYPI"), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, in []byte, ra, rb uint8) {
+		full, ferr := Decode(bytes.NewReader(in))
+		sel := SelectRanks(int(ra), int(rb))
+		m, err := DecodeSelect(in, sel)
+		if ferr != nil {
+			return // robustness only: neither decoder may panic
+		}
+		if err != nil {
+			t.Fatalf("DecodeSelect rejects input Decode accepts: %v", err)
+		}
+		if full.NumRanks > 0 && replayBounded(full) {
+			for _, r := range sel.Ranks() {
+				if r >= full.NumRanks {
+					continue
+				}
+				var want, got []trace.Event
+				wantErr := replay.Events(full.ForRank(r), r, func(e *trace.Event) {
+					want = append(want, *e)
+				})
+				gotErr := replay.Events(m.ForRank(r), r, func(e *trace.Event) {
+					got = append(got, *e)
+				})
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("rank %d: full err=%v, projected err=%v", r, wantErr, gotErr)
+				}
+				if wantErr == nil && !reflect.DeepEqual(want, got) {
+					t.Fatalf("rank %d: projected replay diverges (%d vs %d events)", r, len(got), len(want))
+				}
+			}
+		}
+		if err := m.Materialize(); err != nil {
+			t.Fatalf("Materialize failed on input full Decode accepts: %v", err)
+		}
+		var bFull, bSel bytes.Buffer
+		if _, err := full.Encode(&bFull); err != nil {
+			t.Fatalf("re-encode of full tree failed: %v", err)
+		}
+		if _, err := m.Encode(&bSel); err != nil {
+			t.Fatalf("re-encode of projected tree failed: %v", err)
+		}
+		if !bytes.Equal(bFull.Bytes(), bSel.Bytes()) {
+			t.Fatalf("projected re-encode diverges from full (%d vs %d bytes)", bSel.Len(), bFull.Len())
+		}
+	})
+}

@@ -73,6 +73,19 @@ func (w *writer) runs(rs []stride.Run) {
 // (per-cell artifact finishing in the bench harness) do not re-allocate 64KB
 // of buffering each time.
 func (m *Merged) Encode(out io.Writer) (int64, error) {
+	return m.encode(out, nil)
+}
+
+// encode is the shared body of Encode and EncodeIndexed. When entryLens is
+// non-nil, the byte length of each entry's VData section is appended to it in
+// stream order — the raw material of the CYPI section index. A selectively
+// decoded tree is materialized first: encoding visits every payload.
+func (m *Merged) encode(out io.Writer, entryLens *[]uint64) (int64, error) {
+	if m.lazy != nil {
+		if err := m.Materialize(); err != nil {
+			return 0, err
+		}
+	}
 	sp := sink.Start(obs.StageEncode)
 	defer sp.End()
 	tsp := rec.Begin(ftrace.CatCodec, ftrace.NameEncode, 0)
@@ -110,7 +123,11 @@ func (m *Merged) Encode(out io.Writer) (int64, error) {
 		w.u(uint64(len(es)))
 		for _, e := range es {
 			w.runs(e.Ranks.Runs())
+			pre := w.n
 			encodeVData(w, e.Data, hist)
+			if entryLens != nil {
+				*entryLens = append(*entryLens, uint64(w.n-pre))
+			}
 		}
 	}
 	if w.err != nil {
@@ -223,8 +240,16 @@ func (m *Merged) EncodeGzip(out io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
+// byteScanner is the decoder's input: the streaming paths hand it a pooled
+// *bufio.Reader, the selective decoder an in-memory *bytes.Reader (which it
+// can additionally Seek to skip unselected payload sections).
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
 type reader struct {
-	r   *bufio.Reader
+	r   byteScanner
 	err error
 }
 
@@ -430,18 +455,23 @@ func DecodePar(in io.Reader, workers int) (*Merged, error) {
 	return m, nil
 }
 
-// decodeStream parses the bare CYPR payload from br.
-func decodeStream(br *bufio.Reader) (*Merged, error) {
+// decodeHeader parses the v1 header — magic through the embedded CST — from
+// d's reader into a fresh Merged with its entry lists allocated, returning
+// the stat mode implied by the histogram flag. Shared by the streaming
+// decoder and the selective decoder.
+func (d *decoder) decodeHeader() (*Merged, timestat.Mode, error) {
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("merge: reading magic: %w", err)
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("merge: reading magic: %w", err)
 	}
 	if magic != fileMagic {
-		return nil, fmt.Errorf("merge: bad magic %q", magic)
+		return nil, 0, fmt.Errorf("merge: bad magic %q", magic)
 	}
-	d := &decoder{reader: reader{r: br}}
 	if v := d.u(); v != fileVersion {
-		return nil, fmt.Errorf("merge: unsupported version %d", v)
+		if d.err != nil {
+			return nil, 0, d.err
+		}
+		return nil, 0, fmt.Errorf("merge: unsupported version %d", v)
 	}
 	m := &Merged{}
 	m.TreeHash = d.u()
@@ -454,21 +484,31 @@ func decodeStream(br *bufio.Reader) (*Merged, error) {
 	}
 	treeLen := d.u()
 	if d.err != nil {
-		return nil, d.err
+		return nil, 0, d.err
 	}
 	if treeLen > 1<<28 {
-		return nil, fmt.Errorf("merge: implausible CST length %d", treeLen)
+		return nil, 0, fmt.Errorf("merge: implausible CST length %d", treeLen)
 	}
-	lr := io.LimitedReader{R: br, N: int64(treeLen)}
+	lr := io.LimitedReader{R: d.r, N: int64(treeLen)}
 	tree, err := cst.Decode(&lr)
 	if err != nil {
-		return nil, fmt.Errorf("merge: embedded CST: %w", err)
+		return nil, 0, fmt.Errorf("merge: embedded CST: %w", err)
 	}
 	m.Tree = tree
 	if got := tree.Hash(); got != m.TreeHash {
-		return nil, fmt.Errorf("merge: CST hash mismatch: header %x vs decoded %x", m.TreeHash, got)
+		return nil, 0, fmt.Errorf("merge: CST hash mismatch: header %x vs decoded %x", m.TreeHash, got)
 	}
 	m.Entries = make([][]Entry, tree.NumVertices())
+	return m, mode, nil
+}
+
+// decodeStream parses the bare CYPR payload from br.
+func decodeStream(br *bufio.Reader) (*Merged, error) {
+	d := &decoder{reader: reader{r: br}}
+	m, mode, err := d.decodeHeader()
+	if err != nil {
+		return nil, err
+	}
 	for gid := range m.Entries {
 		n := d.u()
 		if d.err != nil {

@@ -145,22 +145,28 @@ func (s *Streamer) EventCount() int64 { return s.m.EventCount }
 
 // resolve fills sc with rank's resolved view and selection vector and returns
 // the selection fingerprint. One pass over the entry lists: O(groups scanned)
-// total, instead of O(groups) per accessor call during the walk.
-func (s *Streamer) resolve(rank int, sc *resolveScratch) fp.Hash {
+// total, instead of O(groups) per accessor call during the walk. On a
+// selectively decoded tree this is where lazy payload sections are filled
+// (and where a corrupt skipped section surfaces its error).
+func (s *Streamer) resolve(rank int, sc *resolveScratch) (fp.Hash, error) {
 	h := fp.New()
 	for gid, es := range s.m.Entries {
 		sc.data[gid] = nil
 		sc.sel[gid] = -1
 		for i := range es {
 			if es[i].Ranks.Contains(rank) {
-				sc.data[gid] = es[i].Data
+				d, err := s.m.entryData(&es[i])
+				if err != nil {
+					return h, fmt.Errorf("merge: resolving rank %d at vertex %d: %w", rank, gid, err)
+				}
+				sc.data[gid] = d
 				sc.sel[gid] = int32(i)
 				h = h.Word(uint64(gid)).Word(uint64(i))
 				break
 			}
 		}
 	}
-	return h
+	return h, nil
 }
 
 // lookup returns the memoized class whose selection vector equals sel, or nil.
@@ -206,7 +212,10 @@ func (s *Streamer) classFor(rank int, emit func(*trace.Event)) (*replayClass, bo
 
 	sc := s.scratch.Get().(*resolveScratch)
 	defer s.scratch.Put(sc)
-	h := s.resolve(rank, sc)
+	h, err := s.resolve(rank, sc)
+	if err != nil {
+		return nil, false, err
+	}
 
 	s.mu.Lock()
 	if c := s.lookup(h, sc.sel); c != nil {

@@ -111,6 +111,16 @@ const (
 	CorpusCacheMisses  // gets that had to reconstruct and decode
 	CorpusCacheEvicts  // decoded traces evicted from the cache
 
+	// Selective decode with projection pushdown (merge.DecodeSelect).
+	SelDecodes           // selective decodes served by the projection walk
+	SelFallbacks         // DecodeSelect calls that fell back to a full decode
+	SelEntriesEager      // entries whose payload decoded eagerly (selection hit)
+	SelEntriesSkipped    // entries left as lazy payload offsets
+	SelBytesMaterialized // payload bytes decoded eagerly
+	SelBytesSkipped      // payload bytes skipped at decode time
+	SelLazyFills         // skipped payload sections filled on first touch
+	SelLazyFillBytes     // payload bytes filled lazily
+
 	NumCounters // sentinel; must be last
 )
 
@@ -182,6 +192,14 @@ var counterNames = [NumCounters]string{
 	CorpusCacheHits:      "corpus_cache_hits",
 	CorpusCacheMisses:    "corpus_cache_misses",
 	CorpusCacheEvicts:    "corpus_cache_evicts",
+	SelDecodes:           "sel_decodes",
+	SelFallbacks:         "sel_fallbacks",
+	SelEntriesEager:      "sel_entries_eager",
+	SelEntriesSkipped:    "sel_entries_skipped",
+	SelBytesMaterialized: "sel_bytes_materialized",
+	SelBytesSkipped:      "sel_bytes_skipped",
+	SelLazyFills:         "sel_lazy_fills",
+	SelLazyFillBytes:     "sel_lazy_fill_bytes",
 }
 
 // String returns the counter's stable snake_case name (the JSON/expvar key).

@@ -69,38 +69,42 @@ func (c Cat) String() string {
 type Name uint8
 
 const (
-	NameNone      Name = iota
-	NameFinish         // compressor Finish: args events, executed vertices
-	NameWildcard       // wildcard receive resolved (instant): args site gid, still-cached
-	NamePair           // one merge pair: args ranks merged, path (see PairPath*)
-	NameEncode         // trace serialization: args bytes out, ranks
-	NameDecode         // trace deserialization: args entries, events
-	NameDeflate        // one CYPB frame compressed: args usize, csize
-	NameInflate        // one CYPB frame decompressed: args csize, usize
-	NameIngest         // corpus ingest: args encoding bytes, mode (see IngestMode*)
-	NameCorpusGet      // corpus get: args cache hit (1/0), bytes served
-	NameSkeleton       // replay skeleton build: args rank, skeleton events
-	NameMemoHit        // replay class memo hit (instant): args rank, 0
-	NameWindow         // one worker's share of a lookahead window: args rank visits, events
-	NameTurn           // window barrier turn: args window events, live ranks
-	NumNames           // sentinel; must be last
+	NameNone         Name = iota
+	NameFinish            // compressor Finish: args events, executed vertices
+	NameWildcard          // wildcard receive resolved (instant): args site gid, still-cached
+	NamePair              // one merge pair: args ranks merged, path (see PairPath*)
+	NameEncode            // trace serialization: args bytes out, ranks
+	NameDecode            // trace deserialization: args entries, events
+	NameDeflate           // one CYPB frame compressed: args usize, csize
+	NameInflate           // one CYPB frame decompressed: args csize, usize
+	NameIngest            // corpus ingest: args encoding bytes, mode (see IngestMode*)
+	NameCorpusGet         // corpus get: args cache hit (1/0), bytes served
+	NameSkeleton          // replay skeleton build: args rank, skeleton events
+	NameMemoHit           // replay class memo hit (instant): args rank, 0
+	NameWindow            // one worker's share of a lookahead window: args rank visits, events
+	NameTurn              // window barrier turn: args window events, live ranks
+	NameDecodeSelect      // selective decode: args entries materialized, payload bytes skipped
+	NameLazyFill          // lazy payload fill (instant): args slot, section bytes
+	NumNames              // sentinel; must be last
 )
 
 var nameStrings = [NumNames]string{
-	NameNone:      "none",
-	NameFinish:    "finish",
-	NameWildcard:  "wildcard_resolve",
-	NamePair:      "pair",
-	NameEncode:    "encode",
-	NameDecode:    "decode",
-	NameDeflate:   "deflate",
-	NameInflate:   "inflate",
-	NameIngest:    "ingest",
-	NameCorpusGet: "get",
-	NameSkeleton:  "skeleton",
-	NameMemoHit:   "memo_hit",
-	NameWindow:    "window",
-	NameTurn:      "window_turn",
+	NameNone:         "none",
+	NameFinish:       "finish",
+	NameWildcard:     "wildcard_resolve",
+	NamePair:         "pair",
+	NameEncode:       "encode",
+	NameDecode:       "decode",
+	NameDeflate:      "deflate",
+	NameInflate:      "inflate",
+	NameIngest:       "ingest",
+	NameCorpusGet:    "get",
+	NameSkeleton:     "skeleton",
+	NameMemoHit:      "memo_hit",
+	NameWindow:       "window",
+	NameTurn:         "window_turn",
+	NameDecodeSelect: "decode_select",
+	NameLazyFill:     "lazy_fill",
 }
 
 // String returns the event name's stable string.
@@ -113,19 +117,21 @@ func (n Name) String() string {
 
 // argNames labels the two int64 args of each event name in exports.
 var argNames = [NumNames][2]string{
-	NameFinish:    {"events", "executed"},
-	NameWildcard:  {"site", "cached"},
-	NamePair:      {"ranks", "path"},
-	NameEncode:    {"bytes", "ranks"},
-	NameDecode:    {"entries", "events"},
-	NameDeflate:   {"usize", "csize"},
-	NameInflate:   {"csize", "usize"},
-	NameIngest:    {"bytes", "mode"},
-	NameCorpusGet: {"hit", "bytes"},
-	NameSkeleton:  {"rank", "events"},
-	NameMemoHit:   {"rank", "arg1"},
-	NameWindow:    {"visits", "events"},
-	NameTurn:      {"events", "active"},
+	NameFinish:       {"events", "executed"},
+	NameWildcard:     {"site", "cached"},
+	NamePair:         {"ranks", "path"},
+	NameEncode:       {"bytes", "ranks"},
+	NameDecode:       {"entries", "events"},
+	NameDeflate:      {"usize", "csize"},
+	NameInflate:      {"csize", "usize"},
+	NameIngest:       {"bytes", "mode"},
+	NameCorpusGet:    {"hit", "bytes"},
+	NameSkeleton:     {"rank", "events"},
+	NameMemoHit:      {"rank", "arg1"},
+	NameWindow:       {"visits", "events"},
+	NameTurn:         {"events", "active"},
+	NameDecodeSelect: {"eager", "skipped_bytes"},
+	NameLazyFill:     {"slot", "bytes"},
 }
 
 // ArgNames returns the export labels for an event name's two args.
